@@ -1,0 +1,63 @@
+// Ablation: what expert-load imbalance actually costs, and where.
+//
+// Two opposing effects of routing skew:
+//   * decode gets *cheaper* (fewer distinct experts -> less weight traffic)
+//     for TP and EP alike;
+//   * EP prefill gets *slower* (the device hosting the hot experts gates
+//     every MoE layer) — the load-balancing sensitivity the paper
+//     attributes to EP (§7.1).
+// This ablation separates the two by reporting the prefill-time ratio
+// EP/TP next to the analytic max-share, plus decode throughput.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "engine/engine.h"
+#include "parallel/expert_placement.h"
+
+namespace {
+
+mib::engine::SimEngine make_engine(bool ep, double skew) {
+  mib::core::Scenario s;
+  s.model = "OLMoE-1B-7B";
+  s.n_devices = 4;
+  s.plan = ep ? mib::parallel::tp_ep_plan(4) : mib::parallel::tp_plan(4);
+  s.routing_skew = skew;
+  return mib::engine::SimEngine(s.engine_config());
+}
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "ablate_imbalance");
+
+  Table t("OLMoE-1B-7B, batch 32, in/out 1024, 4x H100");
+  t.set_headers({"router skew (zipf s)", "analytic EP max-share",
+                 "prefill EP/TP time ratio", "decode thr TP4 (tok/s)",
+                 "decode thr TP4+EP (tok/s)"});
+
+  for (double skew : {0.0, 0.4, 0.8, 1.2, 1.6}) {
+    const auto tp = make_engine(false, skew);
+    const auto ep = make_engine(true, skew);
+    const double pf_tp = tp.cost_model().prefill(32, 1024).total();
+    const double pf_ep = ep.cost_model().prefill(32, 1024).total();
+    const double share = parallel::expected_max_group_share(
+        64, 32.0 * 1024 * 8, 4, parallel::RoutingModel{skew});
+    t.new_row()
+        .cell(skew, 1)
+        .cell(share, 3)
+        .cell(pf_ep / pf_tp, 2)
+        .cell(tp.run(32, 1024, 1024).throughput_tok_s, 0)
+        .cell(ep.run(32, 1024, 1024).throughput_tok_s, 0);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: the EP/TP prefill ratio tracks the analytic "
+               "max-share (the hot device gates each MoE layer), while "
+               "decode throughput *rises* with skew for both plans because "
+               "fewer distinct experts are read per step — imbalance is an "
+               "EP prefill problem, not a single-device decode problem.\n";
+  return 0;
+}

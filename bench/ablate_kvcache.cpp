@@ -1,0 +1,83 @@
+// Ablation: paged vs contiguous-reservation KV admission on a mixed-length
+// trace (the PagedAttention argument, exercised on the functional
+// PagedKvCache). Contiguous reservation must allocate max-context blocks up
+// front; paging allocates lazily, admitting far more sequences.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "engine/kv_cache.h"
+#include "engine/memory.h"
+#include "hw/device.h"
+#include "models/zoo.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "ablate_kvcache");
+
+  const auto model = models::olmoe_1b_7b();
+  const engine::MemoryModel mem(model, parallel::ParallelPlan{},
+                                DType::kFP16, DType::kFP16, DType::kFP16);
+  const auto dev = hw::h100_sxm5();
+  const double kv_budget =
+      dev.usable_mem() - mem.weight_bytes_per_device() -
+      mem.activation_bytes(16384);
+  const double bytes_per_token = mem.kv_bytes_per_token_per_device();
+  const int block_tokens = 16;
+  const auto total_blocks = static_cast<std::size_t>(
+      kv_budget / (bytes_per_token * block_tokens));
+
+  workload::TraceConfig tc;
+  tc.n_requests = 4000;
+  tc.input = {64, 2048, 1.2};
+  tc.output = {64, 2048, 1.2};
+  const auto trace = workload::generate_trace(tc);
+  const int max_context = 4096;
+
+  // Paged admission: blocks for actual tokens only.
+  engine::PagedKvCache paged(total_blocks, block_tokens);
+  int paged_admitted = 0;
+  for (const auto& r : trace) {
+    const int tokens = r.input_tokens + r.output_tokens;
+    if (!paged.can_admit(tokens)) break;
+    const int id = paged.add_sequence();
+    paged.append_tokens(id, tokens);
+    ++paged_admitted;
+  }
+
+  // Contiguous reservation: every sequence reserves max_context.
+  engine::PagedKvCache contiguous(total_blocks, block_tokens);
+  int contiguous_admitted = 0;
+  double contiguous_tokens = 0;
+  for (const auto& r : trace) {
+    if (!contiguous.can_admit(max_context)) break;
+    const int id = contiguous.add_sequence();
+    contiguous.append_tokens(id, max_context);
+    contiguous_tokens += r.input_tokens + r.output_tokens;
+    ++contiguous_admitted;
+  }
+
+  Table t("OLMoE-1B-7B KV budget on one H100, mixed-length trace");
+  t.set_headers({"policy", "sequences admitted", "block occupancy"});
+  t.new_row()
+      .cell("paged (vLLM)")
+      .cell(paged_admitted)
+      .cell(paged.occupancy(), 3);
+  t.new_row()
+      .cell("contiguous reservation")
+      .cell(contiguous_admitted)
+      .cell(contiguous_tokens /
+                (static_cast<double>(contiguous.used_blocks()) * block_tokens),
+            3);
+  t.print(std::cout);
+
+  std::cout << "\nReading: paged allocation admits "
+            << format_fixed(static_cast<double>(paged_admitted) /
+                                contiguous_admitted,
+                            1)
+            << "x more concurrent sequences at near-1.0 occupancy — the "
+               "engine's wave-scheduling capacity (and therefore every "
+               "large-batch figure) assumes this allocator.\n";
+  return 0;
+}

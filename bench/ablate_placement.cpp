@@ -1,0 +1,60 @@
+// Ablation: contiguous vs LPT-balanced expert placement under EP, across
+// router skew — the deployment mitigation the paper's §5.3 insight calls
+// for ("extreme scale configurations likely needing distributed placement
+// ... for efficient resource use").
+#include <iostream>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "engine/engine.h"
+#include "parallel/expert_placement.h"
+
+namespace {
+
+double prefill_time(double skew, bool balanced) {
+  mib::core::Scenario s;
+  s.model = "OLMoE-1B-7B";
+  s.n_devices = 4;
+  s.plan = mib::parallel::tp_ep_plan(4);
+  s.routing_skew = skew;
+  s.ep_balanced_placement = balanced;
+  const mib::engine::SimEngine eng(s.engine_config());
+  return eng.cost_model().prefill(32, 1024).total();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "ablate_placement");
+
+  Table t("OLMoE-1B-7B TP4+EP, batch 32, prefill 1024 tokens");
+  t.set_headers({"router skew", "max device mass (contig)",
+                 "max device mass (LPT)", "prefill contig (ms)",
+                 "prefill LPT (ms)", "LPT speedup"});
+  for (double skew : {0.0, 0.4, 0.8, 1.2, 1.6}) {
+    const auto probs =
+        parallel::expert_probabilities(64, parallel::RoutingModel{skew});
+    const double m_contig = parallel::placement_max_mass(
+        probs, parallel::contiguous_placement(64, 4), 4);
+    const double m_bal = parallel::placement_max_mass(
+        probs, parallel::balanced_placement(probs, 4), 4);
+    const double t_contig = prefill_time(skew, false);
+    const double t_bal = prefill_time(skew, true);
+    t.new_row()
+        .cell(skew, 1)
+        .cell(m_contig, 3)
+        .cell(m_bal, 3)
+        .cell(t_contig * 1e3, 1)
+        .cell(t_bal * 1e3, 1)
+        .cell(t_contig / t_bal, 2);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: greedy LPT placement spreads popular experts "
+               "across EP devices, flattening the hot device's share and "
+               "recovering most of the skew-induced prefill loss — the "
+               "distributed-placement remedy §5.3 anticipates.\n";
+  return 0;
+}

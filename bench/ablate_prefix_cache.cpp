@@ -1,0 +1,80 @@
+// Ablation: automatic prefix caching on a chat workload — every request
+// shares a 1024-token system prompt. Two effects, both functional:
+//   1. KV capacity: the shared prefix is stored once (PagedKvCache
+//      ref-counted blocks), multiplying concurrent admissions.
+//   2. TTFT: prefill skips the cached prefix, so only the user turn is
+//      computed (priced with the cost model).
+#include <iostream>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "engine/kv_cache.h"
+#include "engine/memory.h"
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "ablate_prefix");
+
+  const auto model = models::qwen15_moe_a27b();  // fat MHA KV: pressure
+  const engine::MemoryModel mem(model, parallel::ParallelPlan{},
+                                DType::kFP16, DType::kFP16, DType::kFP16);
+  const auto dev = hw::h100_sxm5();
+  const int block_tokens = 16;
+  const double kv_budget = dev.usable_mem() -
+                           mem.weight_bytes_per_device() -
+                           mem.activation_bytes(8192);
+  const auto total_blocks = static_cast<std::size_t>(
+      kv_budget / (mem.kv_bytes_per_token_per_device() * block_tokens));
+
+  const int system_prompt = 1024;
+  const int user_turn = 256;
+  const int reply = 256;
+
+  // --- capacity: how many concurrent chats fit ---
+  engine::PagedKvCache with_cache(total_blocks, block_tokens);
+  engine::PagedKvCache without(total_blocks, block_tokens);
+  int n_with = 0, n_without = 0;
+  for (int i = 0; i < 4096; ++i) {
+    const int id = with_cache.add_sequence_with_prefix(0xFEED, system_prompt);
+    if (id < 0 || !with_cache.append_tokens(id, user_turn + reply)) break;
+    ++n_with;
+  }
+  for (int i = 0; i < 4096; ++i) {
+    const int id = without.add_sequence();
+    if (!without.append_tokens(id, system_prompt + user_turn + reply)) {
+      without.free_sequence(id);
+      break;
+    }
+    ++n_without;
+  }
+
+  // --- TTFT: prefill skips the cached prefix ---
+  core::Scenario s;
+  s.model = model.name;
+  const engine::SimEngine eng(s.engine_config());
+  const double ttft_full =
+      eng.cost_model().prefill(1, system_prompt + user_turn).total();
+  const double ttft_cached = eng.cost_model().prefill(1, user_turn).total();
+
+  Table t("Qwen1.5-MoE-A2.7B chat workload on one H100 — 1024-token system "
+          "prompt, 256-token turns");
+  t.set_headers({"metric", "no prefix cache", "with prefix cache", "gain"});
+  t.new_row()
+      .cell("concurrent chats in KV")
+      .cell(n_without)
+      .cell(n_with)
+      .cell(format_fixed(static_cast<double>(n_with) / n_without, 1) + "x");
+  t.new_row()
+      .cell("TTFT (ms, warm prefix)")
+      .cell(ttft_full * 1e3, 1)
+      .cell(ttft_cached * 1e3, 1)
+      .cell(format_fixed(ttft_full / ttft_cached, 1) + "x");
+  t.print(std::cout);
+
+  std::cout << "\nReading: the shared system prompt is held once "
+               "(ref-counted blocks, evicted only when unreferenced and "
+               "memory is needed) and its prefill is skipped — the two "
+               "mechanisms vLLM's automatic prefix caching combines.\n";
+  return 0;
+}

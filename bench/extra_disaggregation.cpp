@@ -1,0 +1,47 @@
+// Extension study: disaggregated prefill/decode serving for the paper's
+// LLMs — does splitting a 4-GPU fleet into prefill and decode pools beat
+// running it co-located? Reports the KV-transfer tax (which MLA's
+// compressed cache nearly eliminates) and the pool-split trade-off.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "engine/disagg.h"
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "extra_disagg");
+
+  Table t("4 GPUs total: 2 prefill + 2 decode (IB transfer) vs TP4 "
+          "co-located — batch 32, in/out 1024, fp16");
+  t.set_headers({"model", "disagg thr (tok/s)", "co-located thr",
+                 "KV transfer (ms)", "disagg ITL (ms)", "co-located ITL"});
+  for (const char* name :
+       {"OLMoE-1B-7B", "Qwen1.5-MoE-A2.7B", "DeepSeek-V2-Lite",
+        "Qwen3-30B-A3B"}) {
+    core::Scenario s;
+    s.model = name;
+    engine::DisaggSimulator sim(s.engine_config(),
+                                engine::DisaggConfig{2, 2});
+    const auto m = sim.run(32, 1024, 1024);
+    t.new_row()
+        .cell(name)
+        .cell(m.throughput_tok_s, 0)
+        .cell(m.colocated_throughput_tok_s, 0)
+        .cell(m.kv_transfer_s * 1e3, 1)
+        .cell(m.itl_s * 1e3, 3)
+        .cell(m.colocated_itl_s * 1e3, 3);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: for single-tenant uniform batches co-location "
+               "wins raw throughput (all 4 GPUs work on every phase), and "
+               "the KV transfer taxes MHA models far more than MLA ones "
+               "(DeepSeek's compressed cache ships ~7x fewer bytes). "
+               "Disaggregation's value is isolation — ITL on the decode "
+               "pool is immune to prefill interference — which the "
+               "uniform-batch setting cannot show; see ablate_scheduler "
+               "for the mixed-load case.\n";
+  return 0;
+}

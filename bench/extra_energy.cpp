@@ -1,0 +1,78 @@
+// Extension study: energy per token across devices and models. The paper's
+// motivation names "low latency and energy-efficient execution"; this bench
+// adds the energy axis using board power from public datasheets
+// (E = devices x TDP x e2e, i.e. a busy-device upper bound).
+#include <iostream>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+
+namespace {
+
+struct Cell {
+  double tok_per_joule = 0.0;
+  bool ok = false;
+};
+
+Cell run(const std::string& model, const std::string& device, int devices) {
+  mib::core::Scenario s;
+  s.model = model;
+  s.device = device;
+  s.n_devices = devices;
+  s.batch = 32;
+  s.input_tokens = s.output_tokens = 1024;
+  try {
+    const auto m = s.run();
+    const double watts =
+        devices * mib::hw::device_by_name(device).tdp_watts;
+    const double joules = watts * m.e2e_s;
+    return {32.0 * 2048 / joules, true};
+  } catch (const mib::OutOfMemoryError&) {
+    return {};
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "extra_energy");
+
+  Table t("tokens per joule — batch 32, in/out 1024, fp16 "
+          "(busy-device upper bound on energy)");
+  t.set_headers({"model", "A100x4", "H100x4", "H200x4", "B200x4"});
+  for (const auto& m : models::llm_models()) {
+    t.new_row().cell(m.name);
+    for (const char* dev : {"a100", "h100", "h200", "b200"}) {
+      const auto c = run(m.name, dev, 4);
+      t.cell(c.ok ? format_fixed(c.tok_per_joule, 2) : "OOM");
+    }
+  }
+  t.print(std::cout);
+
+  // CS-3 vs H100 on the paper's Fig. 16 model: raw speed vs system power.
+  {
+    core::Scenario s;
+    s.model = "Llama-4-Scout-17B-16E";
+    s.weight_dtype = DType::kFP8E4M3;
+    s.batch = 1;
+    s.input_tokens = s.output_tokens = 1024;
+    s.device = "h100";
+    s.n_devices = 2;
+    const auto h = s.run();
+    s.device = "cs3";
+    s.n_devices = 1;
+    const auto c = s.run();
+    const double h_tpj =
+        2048.0 / (2 * hw::h100_sxm5().tdp_watts * h.e2e_s);
+    const double c_tpj = 2048.0 / (hw::cs3().tdp_watts * c.e2e_s);
+    std::cout << "\nLlama-4-Scout single stream: H100x2 "
+              << format_fixed(h_tpj, 3) << " tok/J vs CS-3 "
+              << format_fixed(c_tpj, 3)
+              << " tok/J — the wafer is ~10x faster per stream but draws "
+                 "~16x the power, so single-stream energy roughly ties; "
+              << "its advantage is latency, not joules.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Extension study: expert offloading vs the paper's OOM boundaries. The §5
+// sweeps mark configurations that exceed HBM as missing points; offloading
+// converts those hard boundaries into a residency/throughput trade — and
+// makes Mixtral-8x7B fp16 runnable on a single 80 GiB H100.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "engine/offload.h"
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "extra_offload");
+
+  {
+    Table t("Mixtral-8x7B fp16 on ONE H100 (93 GiB of weights) — expert "
+            "residency sweep, batch 4, in/out 512");
+    t.set_headers({"resident experts", "HBM weights (GiB)", "miss rate",
+                   "fetch/step (ms)", "throughput (tok/s)"});
+    core::Scenario s;
+    s.model = "Mixtral-8x7B";
+    for (double r : {0.75, 0.625, 0.5, 0.375, 0.25}) {
+      try {
+        engine::OffloadEngine eng(s.engine_config(),
+                                  engine::OffloadConfig{r});
+        const auto m = eng.run(4, 512, 512);
+        t.new_row()
+            .cell(format_fixed(r * 8, 0) + "/8")
+            .cell(m.hbm_weight_gib, 1)
+            .cell(m.miss_rate, 3)
+            .cell(m.fetch_per_step_s * 1e3, 2)
+            .cell(m.run.throughput_tok_s, 0);
+      } catch (const OutOfMemoryError&) {
+        t.new_row()
+            .cell(format_fixed(r * 8, 0) + "/8")
+            .cell("OOM")
+            .cell("-")
+            .cell("-")
+            .cell("-");
+      }
+    }
+    t.print(std::cout);
+  }
+
+  {
+    // Skew makes offloading nearly free: the popular experts stay in HBM.
+    Table t("\nOLMoE-1B-7B at 25% residency — routing-skew sweep, batch 16, "
+            "in/out 1024, 1x H100");
+    t.set_headers({"router skew (zipf s)", "miss rate",
+                   "fetch/step (ms)", "throughput (tok/s)",
+                   "all-resident thr"});
+    for (double skew : {0.0, 0.6, 1.2, 1.8}) {
+      core::Scenario s;
+      s.model = "OLMoE-1B-7B";
+      s.routing_skew = skew;
+      engine::OffloadEngine off(s.engine_config(),
+                                engine::OffloadConfig{0.25});
+      engine::OffloadEngine full(s.engine_config(),
+                                 engine::OffloadConfig{1.0});
+      const auto m = off.run(16, 1024, 1024);
+      const auto f = full.run(16, 1024, 1024);
+      t.new_row()
+          .cell(skew, 1)
+          .cell(m.miss_rate, 3)
+          .cell(m.fetch_per_step_s * 1e3, 2)
+          .cell(m.run.throughput_tok_s, 0)
+          .cell(f.run.throughput_tok_s, 0);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nReading: offloading erases the paper's OOM boundaries at "
+               "a PCIe-governed cost; routing skew — the load-balancing "
+               "problem everywhere else — is exactly what makes a small "
+               "resident set sufficient here.\n";
+  return 0;
+}

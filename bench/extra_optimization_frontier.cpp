@@ -1,0 +1,106 @@
+// Extension study (beyond the paper): the quality-vs-throughput frontier
+// of the §6 optimizations combined — precision x pruning for Mixtral-8x7B.
+// The paper reports speed effects (Figs. 10/11) and baseline accuracy
+// (Fig. 17) separately; this bench joins them with documented accuracy
+// deltas so a deployer can read off the Pareto set.
+#include <iostream>
+#include <vector>
+
+#include "accuracy/optimization_impact.h"
+#include "accuracy/registry.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "moe/pruning.h"
+
+namespace {
+
+struct Variant {
+  std::string label;
+  mib::DType dtype;
+  double inter_ratio;  ///< 0 = no inter-expert pruning
+  double intra_ratio;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "extra_optimization_frontier");
+
+  const double base_acc =
+      accuracy::average_accuracy("Mixtral-8x7B", accuracy::llm_tasks());
+  const auto base_model = models::mixtral_8x7b();
+
+  const std::vector<Variant> variants = {
+      {"fp16 baseline", DType::kFP16, 0.0, 0.0},
+      {"fp8", DType::kFP8E4M3, 0.0, 0.0},
+      {"int8", DType::kINT8, 0.0, 0.0},
+      {"int4 g128", DType::kINT4, 0.0, 0.0},
+      {"fp16 + inter 25%", DType::kFP16, 0.25, 0.0},
+      {"fp16 + intra 25%", DType::kFP16, 0.0, 0.25},
+      {"fp8 + intra 25%", DType::kFP8E4M3, 0.0, 0.25},
+      {"fp8 + inter 25%", DType::kFP8E4M3, 0.25, 0.0},
+      {"int4 + intra 50%", DType::kINT4, 0.0, 0.5},
+  };
+
+  struct Point {
+    std::string label;
+    double acc, thr;
+  };
+  std::vector<Point> pts;
+
+  Table t("Mixtral-8x7B, batch 32, in/out 1024, 4x H100 TP4");
+  t.set_headers({"variant", "est. accuracy %", "throughput (tok/s)",
+                 "mem/GPU (GiB)"});
+  for (const auto& v : variants) {
+    auto m = base_model;
+    if (v.inter_ratio > 0.0) {
+      m.n_experts = moe::pruned_expert_count(m.n_experts, v.inter_ratio);
+      m.top_k = std::min(m.top_k, m.n_experts);
+    }
+    if (v.intra_ratio > 0.0) {
+      m.expert_ffn = moe::pruned_ffn_dim(m.expert_ffn, v.intra_ratio);
+    }
+    core::Scenario s;
+    s.model_override = m;
+    s.n_devices = 4;
+    s.weight_dtype = v.dtype;
+    s.batch = 32;
+    s.input_tokens = s.output_tokens = 1024;
+    const auto r = s.run();
+
+    double acc = base_acc + accuracy::quantization_accuracy_delta(v.dtype);
+    if (v.inter_ratio > 0.0) {
+      acc += accuracy::inter_expert_prune_accuracy_delta(v.inter_ratio);
+    }
+    if (v.intra_ratio > 0.0) {
+      acc += accuracy::intra_expert_prune_accuracy_delta(v.intra_ratio);
+    }
+    t.new_row()
+        .cell(v.label)
+        .cell(acc, 1)
+        .cell(r.throughput_tok_s, 0)
+        .cell(r.memory.total() / kGiB, 1);
+    pts.push_back({v.label, acc, r.throughput_tok_s});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPareto set (no variant dominates): ";
+  bool first = true;
+  for (const auto& p : pts) {
+    bool dominated = false;
+    for (const auto& q : pts) {
+      if (q.acc > p.acc + 1e-9 && q.thr > p.thr) dominated = true;
+    }
+    if (!dominated) {
+      std::cout << (first ? "" : " | ") << p.label;
+      first = false;
+    }
+  }
+  std::cout << "\n\nAccuracy deltas are literature-calibrated estimates "
+               "(see accuracy/optimization_impact.h); throughput and memory "
+               "come from the simulator.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 4: TTFT, ITL and end-to-end latency of the DeepSeek-VL2 family
+// (one image per request). The paper reports much larger spreads than for
+// LLMs: ~30% TTFT, ~240% ITL, >260% end-to-end across the family.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "fig04");
+
+  Table t("batch 64, input/output 2048, 1 image/request, 1x H100, fp16");
+  t.set_headers({"model", "TTFT (s)", "ITL (ms)", "end-to-end (s)",
+                 "samples/s"});
+
+  double tiny_ttft = 0, base_ttft = 0, tiny_itl = 0, base_itl = 0;
+  double tiny_e2e = 0, base_e2e = 0;
+  for (const auto& m : models::vlm_models()) {
+    core::Scenario s;
+    s.model = m.name;
+    s.batch = 64;
+    s.input_tokens = s.output_tokens = 2048;
+    s.images_per_request = 1;
+    const auto r = s.run();
+    t.new_row()
+        .cell(m.name)
+        .cell(r.ttft_s, 3)
+        .cell(core::itl_ms_of(r), 3)
+        .cell(r.e2e_s, 2)
+        .cell(r.samples_per_s, 3);
+    if (m.name == "DeepSeek-VL2-Tiny") {
+      tiny_ttft = r.ttft_s;
+      tiny_itl = r.itl_s;
+      tiny_e2e = r.e2e_s;
+    }
+    if (m.name == "DeepSeek-VL2") {
+      base_ttft = r.ttft_s;
+      base_itl = r.itl_s;
+      base_e2e = r.e2e_s;
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPaper comparison (§4.1): Tiny vs Base — TTFT gap "
+            << format_fixed(100.0 * (base_ttft / tiny_ttft - 1.0), 0)
+            << "% (paper ~30%), ITL gap "
+            << format_fixed(100.0 * (base_itl / tiny_itl - 1.0), 0)
+            << "% (paper ~240%), end-to-end gap "
+            << format_fixed(100.0 * (base_e2e / tiny_e2e - 1.0), 0)
+            << "% (paper >260%).\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 7: throughput vs FFN dimension for each (experts, active) pair —
+// Mixtral-8x7B skeleton, batch 16, in/out 2048, 4x H100.
+#include <iostream>
+
+#include "common/table.h"
+#include "hyperparam_common.h"
+
+int main() {
+  using namespace mib;
+  using namespace mib::benchutil;
+  core::print_banner(std::cout, "fig07");
+
+  for (int experts : expert_counts()) {
+    Table t("experts = " + std::to_string(experts) +
+            " — throughput (tok/s) vs FFN dim");
+    std::vector<std::string> headers = {"active \\ FFN"};
+    for (int ffn : ffn_dims()) headers.push_back(std::to_string(ffn));
+    t.set_headers(headers);
+    for (int k : active_counts()) {
+      t.new_row().cell("k=" + std::to_string(k));
+      for (int ffn : ffn_dims()) t.cell(cell(ffn, experts, k));
+    }
+    t.print(std::cout);
+    core::maybe_export_csv(t, std::string("fig07_experts") + std::to_string(experts));
+  }
+
+  // Paper-quoted summary numbers.
+  auto thr = [&](int ffn, int k) {
+    return variant(ffn, 8, k).run().throughput_tok_s;
+  };
+  std::cout << "\nFFN 1792 -> 14336 decline (8 experts, k=2): "
+            << format_fixed(100.0 * (1.0 - thr(14336, 2) / thr(1792, 2)), 0)
+            << "% (paper: ~50% average). k=1 vs k=8 gap at FFN 14336: "
+            << format_fixed(100.0 * (1.0 - thr(14336, 8) / thr(14336, 1)), 0)
+            << "% (paper: ~60%).\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 10: Mixtral-8x7B with FP16 vs FP8 (vLLM-style fp8 quantization:
+// fp8 weights + activations, fp16 KV cache) across batch sizes and
+// input/output lengths on 4x H100. Also reports the *representational*
+// quality cost of fp8 measured with the functional quantizer.
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "quant/quantize.h"
+#include "workload/generator.h"
+
+namespace {
+
+mib::core::Scenario base(mib::DType dt) {
+  mib::core::Scenario s;
+  s.model = "Mixtral-8x7B";
+  s.n_devices = 4;
+  s.weight_dtype = dt;
+  s.act_dtype = dt == mib::DType::kFP16 ? mib::DType::kFP16
+                                        : mib::DType::kFP8E4M3;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "fig10");
+
+  {
+    Table t("throughput (tok/s) vs batch size, in/out 1024");
+    t.set_headers({"batch", "FP16", "FP8", "FP8 gain %"});
+    for (int b : workload::paper_batch_sizes()) {
+      const double f16 = base(DType::kFP16)
+                             .with_batch(b)
+                             .with_lengths(1024, 1024)
+                             .run()
+                             .throughput_tok_s;
+      const double f8 = base(DType::kFP8E4M3)
+                            .with_batch(b)
+                            .with_lengths(1024, 1024)
+                            .run()
+                            .throughput_tok_s;
+      t.new_row()
+          .cell(b)
+          .cell(f16, 0)
+          .cell(f8, 0)
+          .cell(100.0 * (f8 / f16 - 1.0), 1);
+    }
+    t.print(std::cout);
+  }
+
+  {
+    Table t("throughput (tok/s) vs in/out length, batch 64");
+    t.set_headers({"len", "FP16", "FP8", "FP8 gain %"});
+    for (int len : workload::paper_sequence_lengths()) {
+      const double f16 = base(DType::kFP16)
+                             .with_batch(64)
+                             .with_lengths(len, len)
+                             .run()
+                             .throughput_tok_s;
+      const double f8 = base(DType::kFP8E4M3)
+                            .with_batch(64)
+                            .with_lengths(len, len)
+                            .run()
+                            .throughput_tok_s;
+      t.new_row()
+          .cell(len)
+          .cell(f16, 0)
+          .cell(f8, 0)
+          .cell(100.0 * (f8 / f16 - 1.0), 1);
+    }
+    t.print(std::cout);
+  }
+
+  // Representational cost of fp8 on Gaussian weight blocks (functional).
+  Rng rng(2024);
+  Tensor w = Tensor::randn({64, 512}, rng, 0.02f);
+  Tensor w8 = w;
+  const auto err8 = quant::fake_quantize_tensor(w8, DType::kFP8E4M3,
+                                                quant::Granularity::kPerRow);
+  Tensor w16 = w;
+  const auto err16 = quant::fake_quantize_tensor(w16, DType::kFP16,
+                                                 quant::Granularity::kPerRow);
+  std::cout << "\nWeight fidelity: fp16 rel-err "
+            << format_fixed(err16.rel_err * 100, 4) << "% (SNR "
+            << format_fixed(err16.snr_db(), 1) << " dB), fp8-e4m3 rel-err "
+            << format_fixed(err8.rel_err * 100, 2) << "% (SNR "
+            << format_fixed(err8.snr_db(), 1)
+            << " dB) — the paper reports no quality loss at fp8.\n"
+            << "Paper comparison (§6.1): FP8 gains 25-30% at the largest "
+               "batch and 20-25% across lengths; our roofline shows the "
+               "same widening-with-batch trend with larger magnitudes "
+               "(see EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 11: inter- vs intra-expert pruning at ratios {12.5%, 25%, 50%}
+// across TopK values for OLMoE-1B-7B and Qwen1.5-MoE-A2.7B on 4x H100
+// (batch 16, in/out 2048). The pruned geometries come from the same
+// transforms the functional moe::pruning module applies to real layers.
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "moe/pruning.h"
+
+namespace {
+
+double run_variant(const mib::models::ModelConfig& base, int experts,
+                   int ffn, int top_k) {
+  auto v = base;
+  v.n_experts = experts;
+  v.expert_ffn = ffn;
+  v.top_k = std::min(top_k, experts);
+  mib::core::Scenario s;
+  s.model_override = v;
+  s.n_devices = 4;
+  s.batch = 16;
+  s.input_tokens = s.output_tokens = 2048;
+  return s.run().throughput_tok_s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "fig11");
+
+  const std::vector<double> ratios = {0.125, 0.25, 0.5};
+
+  for (const char* name : {"OLMoE-1B-7B", "Qwen1.5-MoE-A2.7B"}) {
+    const auto base = models::model_by_name(name);
+    const std::vector<int> topks = [&] {
+      std::vector<int> v;
+      for (int k = 1; k <= base.top_k; ++k) v.push_back(k);
+      return v;
+    }();
+
+    Table t(std::string(name) + " — throughput (tok/s), 4x H100");
+    std::vector<std::string> headers = {"config \\ TopK"};
+    for (int k : topks) headers.push_back(std::to_string(k));
+    t.set_headers(headers);
+
+    auto add_row = [&](const std::string& label, int experts, int ffn) {
+      t.new_row().cell(label);
+      for (int k : topks) t.cell(run_variant(base, experts, ffn, k), 0);
+    };
+
+    add_row("baseline", base.n_experts, base.expert_ffn);
+    for (double r : ratios) {
+      add_row("inter " + format_fixed(r * 100, 1) + "%",
+              moe::pruned_expert_count(base.n_experts, r), base.expert_ffn);
+    }
+    for (double r : ratios) {
+      add_row("intra " + format_fixed(r * 100, 1) + "%", base.n_experts,
+              moe::pruned_ffn_dim(base.expert_ffn, r));
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Paper comparison (§6.2): low pruning ratios move throughput "
+               "only marginally (and can even reduce it on real kernels); "
+               "50% pruning improves throughput significantly; throughput "
+               "decreases with TopK in every configuration.\n";
+  return 0;
+}

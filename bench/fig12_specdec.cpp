@@ -1,0 +1,138 @@
+// Fig. 12: speculative decoding with target Qwen3-30B-A3B and four Qwen3
+// draft models (0.6B / 1.7B / 4B / 8B): throughput vs input length and vs
+// the number of speculated draft tokens. Batch 16 (H100).
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "moe/transformer.h"
+#include "specdec/specdec.h"
+
+namespace {
+
+mib::specdec::SpecDecSimulator make_sim(const mib::models::ModelConfig& draft,
+                                        int k) {
+  // fp8 weights for both models (Qwen3 fp8 checkpoints are standard) so
+  // target + draft + both KV caches share one 80 GB H100.
+  mib::specdec::SpecDecConfig c;
+  mib::core::Scenario t;
+  t.model = "Qwen3-30B-A3B";
+  t.weight_dtype = mib::DType::kFP8E4M3;
+  c.target = t.engine_config();
+  mib::core::Scenario d;
+  d.model_override = draft;
+  d.weight_dtype = mib::DType::kFP8E4M3;
+  c.draft = d.engine_config();
+  c.draft_tokens = k;
+  return mib::specdec::SpecDecSimulator(c);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "fig12");
+
+  const std::vector<models::ModelConfig> drafts = {
+      models::qwen3_0_6b(), models::qwen3_1_7b(), models::qwen3_4b(),
+      models::qwen3_8b()};
+
+  {
+    // Generation throughput (decode tokens/s) — the quantity that falls
+    // with input length as the KV context grows; end-to-end throughput per
+    // eq. (2) would count the longer prompt as processed tokens and mask
+    // the trend.
+    Table t("generated tokens/s vs input length — 3 draft tokens, batch 16, "
+            "output 1024");
+    std::vector<std::string> headers = {"draft \\ input len"};
+    for (int len : {128, 256, 512, 1024, 2048}) {
+      headers.push_back(std::to_string(len));
+    }
+    t.set_headers(headers);
+    for (const auto& d : drafts) {
+      t.new_row().cell(d.name);
+      const auto sim = make_sim(d, 3);
+      for (int len : {128, 256, 512, 1024, 2048}) {
+        t.cell(sim.run(16, len, 1024).decode_tok_s, 0);
+      }
+    }
+    t.print(std::cout);
+  }
+
+  {
+    Table t("throughput (tok/s) vs #draft tokens — input/output 1024, "
+            "batch 16");
+    std::vector<std::string> headers = {"draft \\ k"};
+    for (int k : {1, 2, 3, 4, 6, 8}) headers.push_back(std::to_string(k));
+    t.set_headers(headers);
+    for (const auto& d : drafts) {
+      t.new_row().cell(d.name);
+      for (int k : {1, 2, 3, 4, 6, 8}) {
+        t.cell(make_sim(d, k).run(16, 1024, 1024).throughput_tok_s, 0);
+      }
+    }
+    t.print(std::cout);
+  }
+
+  {
+    Table t("acceptance and speedup — input/output 1024, k=3, batch 16");
+    t.set_headers({"draft", "alpha", "tokens/cycle", "cycle (ms)",
+                   "speedup vs plain"});
+    for (const auto& d : drafts) {
+      const auto m = make_sim(d, 3).run(16, 1024, 1024);
+      t.new_row()
+          .cell(d.name)
+          .cell(m.alpha, 2)
+          .cell(m.tokens_per_cycle, 2)
+          .cell(m.cycle_s * 1e3, 2)
+          .cell(m.speedup_vs_plain, 2);
+    }
+    t.print(std::cout);
+  }
+
+  // Functional ground truth: speculative decoding on the executable CPU
+  // transformer is *lossless* — identical tokens to plain decoding, fewer
+  // target passes.
+  {
+    moe::TransformerConfig tc;
+    tc.vocab = 64;
+    tc.n_layers = 3;
+    tc.hidden = 48;
+    tc.n_heads = 4;
+    tc.n_kv_heads = 4;
+    tc.head_dim = 12;
+    tc.n_experts = 4;
+    tc.top_k = 2;
+    tc.expert_ffn = 64;
+    const moe::Transformer target(tc, 7);
+    // Draft = the target with int8-quantized experts (a compressed twin,
+    // as real draft models are distilled versions of their targets).
+    moe::Transformer draft(tc, 7);
+    for (int l = 0; l < tc.n_layers; ++l) {
+      auto& layer = draft.moe_layer(l);
+      for (int e = 0; e < layer.n_experts(); ++e) {
+        layer.expert(e).quantize_weights(DType::kINT8,
+                                         quant::Granularity::kPerRow);
+      }
+    }
+
+    auto plain_session = target.new_session();
+    const auto plain = target.generate({3, 1, 4}, 32, plain_session);
+    moe::SpeculativeStats stats;
+    const auto spec =
+        moe::speculative_generate(target, draft, {3, 1, 4}, 32, 3, &stats);
+    std::cout << "\nFunctional check (CPU transformer, k=3): output "
+              << (spec == plain ? "IDENTICAL" : "DIFFERS")
+              << " to plain decoding; acceptance "
+              << format_fixed(100.0 * stats.acceptance_rate(), 0)
+              << "%, target passes " << stats.target_passes
+              << " vs 32 for plain decode.\n";
+  }
+
+  std::cout << "\nPaper comparison (§6.3): Qwen3-1.7B is the best draft; "
+               "0.6B trails by 25-35%; throughput declines with input "
+               "length and with deeper speculation.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 14: Mixtral-8x7B with and without the Fused MoE kernel on 4x H100
+// (batch & length sweeps), plus a real CPU wall-clock comparison of the
+// functional fused vs staged MoE layer — the same structural saving
+// (grouped execution, no per-expert dispatch) measured on actual silicon.
+#include <chrono>
+#include <functional>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "moe/moe_layer.h"
+#include "workload/generator.h"
+
+namespace {
+
+double thr(bool fused, int batch, int len) {
+  mib::core::Scenario s;
+  s.model = "Mixtral-8x7B";
+  s.n_devices = 4;
+  s.fused_moe = fused;
+  s.batch = batch;
+  s.input_tokens = s.output_tokens = len;
+  return s.run().throughput_tok_s;
+}
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "fig14");
+
+  {
+    Table t("throughput (tok/s) vs batch size, in/out 1024");
+    t.set_headers({"batch", "Fused MoE", "non-fused", "gain %"});
+    for (int b : workload::paper_batch_sizes()) {
+      const double f = thr(true, b, 1024);
+      const double u = thr(false, b, 1024);
+      t.new_row().cell(b).cell(f, 0).cell(u, 0).cell(
+          100.0 * (f / u - 1.0), 1);
+    }
+    t.print(std::cout);
+  }
+
+  {
+    Table t("throughput (tok/s) vs in/out length, batch 64");
+    t.set_headers({"len", "Fused MoE", "non-fused", "gain %"});
+    for (int len : workload::paper_sequence_lengths()) {
+      const double f = thr(true, 64, len);
+      const double u = thr(false, 64, len);
+      t.new_row().cell(len).cell(f, 0).cell(u, 0).cell(
+          100.0 * (f / u - 1.0), 1);
+    }
+    t.print(std::cout);
+  }
+
+  // Functional ground truth: the fused (grouped, thread-parallel) CPU path
+  // vs the staged per-expert path on a scaled-down Mixtral layer.
+  {
+    Rng rng(7);
+    moe::MoELayerConfig c;
+    c.hidden = 256;
+    c.expert_ffn = 512;
+    c.n_experts = 8;
+    c.top_k = 2;
+    moe::MoELayer layer(c, rng);
+    Rng xr(11);
+    const Tensor x = Tensor::randn({128, 256}, xr);
+    layer.forward_fused(x);  // warm-up (thread pool spin-up)
+    const double t_fused =
+        wall_seconds([&] { for (int i = 0; i < 5; ++i) layer.forward_fused(x); });
+    const double t_staged =
+        wall_seconds([&] { for (int i = 0; i < 5; ++i) layer.forward_staged(x); });
+    std::cout << "\nFunctional CPU layer (h=256, ffn=512, 8 experts, top-2, "
+                 "128 tokens, "
+              << ThreadPool::shared().thread_count()
+              << " worker thread(s)): fused "
+              << format_fixed(t_fused * 200, 2) << " ms/pass vs staged "
+              << format_fixed(t_staged * 200, 2)
+              << " ms/pass (ratio "
+              << format_fixed(t_staged / t_fused, 2)
+              << "x). The fused path parallelizes across experts, so its "
+                 "advantage scales with cores; outputs match the staged "
+                 "path to 1e-5 (see tests/moe).\n";
+  }
+
+  std::cout << "Paper comparison (§7.2): Fused MoE gains 15-20% with batch "
+               "and 12-18% across lengths, widening at scale.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 15: expert activation-frequency heatmaps of the DeepSeek-VL2 family
+// vs MolmoE-1B on an MME-scale token stream, produced by the *functional*
+// router. DeepSeek's aux-loss-balanced routers activate near-uniformly
+// (paper: peak ~290K); MolmoE's unbalanced router concentrates (peak ~1M).
+#include <cstdint>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "models/zoo.h"
+#include "workload/activation_study.h"
+
+namespace {
+
+// MME has ~2,370 image-question pairs; with vision patches plus text this
+// is roughly 1.4M routed tokens end to end. We drive a scaled trace and
+// report counts scaled back to MME size so peaks are comparable with the
+// paper's colorbars.
+constexpr int kSimTokens = 20000;
+constexpr double kMmeTokens = 2.0e6;
+
+void render(const mib::workload::ActivationStudy& study,
+            const std::string& name) {
+  const double scale = kMmeTokens / kSimTokens;
+  const auto& hm = study.heatmap();
+
+  // Compact heatmap: per layer, a character ramp over expert counts.
+  std::cout << name << " — activation heatmap (rows = layers, cols = "
+            << hm[0].size() << " experts; ramp . : - = + * # @)\n";
+  std::uint64_t peak = study.peak();
+  const char* ramp = ".:-=+*#@";
+  for (std::size_t l = 0; l < hm.size(); ++l) {
+    std::cout << "  L" << (l < 10 ? "0" : "") << l << " ";
+    for (auto c : hm[l]) {
+      const double frac =
+          peak ? static_cast<double>(c) / static_cast<double>(peak) : 0.0;
+      const int idx = std::min(7, static_cast<int>(frac * 8.0));
+      std::cout << ramp[idx];
+    }
+    std::cout << '\n';
+  }
+
+  mib::Table t;
+  t.set_headers({"metric", "value"});
+  t.new_row().cell("peak expert count (MME-scaled)").cell(
+      mib::format_fixed(static_cast<double>(peak) * scale / 1e3, 0) + "K");
+  t.new_row().cell("mean CV of per-layer loads").cell(study.mean_cv(), 3);
+  t.new_row().cell("mean max/mean load factor").cell(study.mean_imbalance(),
+                                                     2);
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "fig15");
+
+  // DeepSeek-VL2 family: aux-loss-balanced routers -> zero logit prior.
+  for (const char* name :
+       {"DeepSeek-VL2-Tiny", "DeepSeek-VL2-Small", "DeepSeek-VL2"}) {
+    workload::ActivationStudy study(models::model_by_name(name), {});
+    study.run(kSimTokens);
+    render(study, name);
+  }
+
+  // MolmoE-1B: trained without the balance loss -> skewed prior.
+  workload::ActivationStudyConfig skew;
+  skew.router_skew = 0.45;
+  workload::ActivationStudy molmoe(models::molmoe_1b(), skew);
+  molmoe.run(kSimTokens);
+  render(molmoe, "MolmoE-1B");
+
+  std::cout << "Paper comparison (§8.3): DeepSeek-VL2 models peak near 290K "
+               "activations with near-uniform maps; MolmoE-1B reaches ~1M "
+               "on a few hot experts — activation frequency alone is not a "
+               "dependable importance metric for balanced models.\n";
+  return 0;
+}

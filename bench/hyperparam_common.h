@@ -1,0 +1,50 @@
+// Shared machinery for the §5 hyperparameter sweeps (Figs. 7-9): the
+// Mixtral-8x7B skeleton with FFN dim / expert count / active experts
+// overridden, batch 16, input/output 2048, 4x H100 TP4. Missing cells print
+// "OOM" exactly where the paper's figures have missing points.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/scenario.h"
+
+namespace mib::benchutil {
+
+inline const std::vector<int>& ffn_dims() {
+  static const std::vector<int> v = {1792, 3584, 7168, 14336};
+  return v;
+}
+
+inline const std::vector<int>& expert_counts() {
+  static const std::vector<int> v = {8, 16, 32, 64};
+  return v;
+}
+
+inline const std::vector<int>& active_counts() {
+  static const std::vector<int> v = {1, 2, 4, 8};
+  return v;
+}
+
+/// Mixtral skeleton with the swept hyperparameters applied.
+inline core::Scenario variant(int ffn, int experts, int top_k) {
+  auto m = models::mixtral_8x7b();
+  m.expert_ffn = ffn;
+  m.n_experts = experts;
+  m.top_k = top_k;
+  core::Scenario s;
+  s.model_override = m;
+  s.n_devices = 4;
+  s.batch = 16;
+  s.input_tokens = s.output_tokens = 2048;
+  return s;
+}
+
+/// Throughput cell or "OOM".
+inline std::string cell(int ffn, int experts, int top_k) {
+  auto s = variant(ffn, experts, top_k);
+  return core::metric_cell([&] { return s.run(); }, core::throughput_of);
+}
+
+}  // namespace mib::benchutil

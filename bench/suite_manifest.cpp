@@ -1,0 +1,19 @@
+// Prints the experiment registry: every paper table/figure and the bench
+// binary that regenerates it.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/experiments.h"
+
+int main() {
+  using namespace mib;
+  std::cout << "MoE-Inference-Bench — experiment manifest\n";
+  Table t;
+  t.set_headers({"id", "what the paper shows", "workload", "bench target"});
+  for (const auto& e : core::experiments()) {
+    t.new_row().cell(e.id).cell(e.title).cell(e.workload).cell(
+        e.bench_target);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Simulated profiler output: the per-op timeline a GPU profiler would show
+// for one decode step and one prefill of Mixtral-8x7B on 4x H100 — the
+// ground-level view behind every figure's aggregate numbers.
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "engine/engine.h"
+
+namespace {
+
+void print_profile(const std::vector<mib::engine::OpRecord>& ops,
+                   const std::string& title) {
+  double total = 0.0;
+  for (const auto& op : ops) total += op.seconds;
+
+  mib::Table t(title);
+  t.set_headers({"op", "time (us)", "% of phase", "instances", "GB moved",
+                 "GFLOP", "bound"});
+  for (const auto& op : ops) {
+    const double bw_time = op.bytes / 2.75e12;   // achievable H100 stream
+    const double fl_time = op.flops / 7.4e14;    // achievable H100 compute
+    const char* bound = op.flops == 0.0 && op.bytes == 0.0 ? "latency"
+                        : bw_time >= fl_time     ? "memory"
+                                                 : "compute";
+    t.new_row()
+        .cell(op.name)
+        .cell(op.seconds * 1e6, 1)
+        .cell(100.0 * op.seconds / total, 1)
+        .cell(static_cast<long long>(op.instances))
+        .cell(op.bytes / 1e9, 2)
+        .cell(op.flops / 1e9, 1)
+        .cell(bound);
+  }
+  t.print(std::cout);
+  std::cout << "  phase total: " << mib::format_fixed(total * 1e3, 3)
+            << " ms\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+  core::print_banner(std::cout, "trace_profile");
+
+  core::Scenario s;
+  s.model = "Mixtral-8x7B";
+  s.n_devices = 4;
+  const engine::SimEngine eng(s.engine_config());
+  const auto& cost = eng.cost_model();
+
+  print_profile(cost.profile_decode_step(16, 3072),
+                "decode step — batch 16, context 3072 (per device)");
+  print_profile(cost.profile_prefill(16, 2048),
+                "prefill — batch 16 x 2048 tokens (per device)");
+
+  std::cout << "Reading: decode is dominated by expert weight reads "
+               "(memory-bound grouped GEMMs) plus collectives and the "
+               "framework floor; prefill flips to compute-bound expert "
+               "GEMMs — the two regimes every figure in the paper moves "
+               "between.\n";
+  return 0;
+}

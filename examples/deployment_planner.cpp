@@ -1,0 +1,105 @@
+// Deployment planner: given a model and a latency SLO, search the
+// (devices, parallel plan, precision) space for the cheapest configuration
+// that meets the SLO — the capacity-planning workflow the paper's insights
+// are meant to inform (§5 "optimal MoE operating constraints").
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/scenario.h"
+
+namespace {
+
+struct Candidate {
+  mib::parallel::ParallelPlan plan;
+  int devices;
+  mib::DType dtype;
+};
+
+std::string dtype_label(mib::DType dt) { return mib::dtype_name(dt); }
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+
+  const std::string model = "Mixtral-8x7B";
+  const int batch = 16;
+  const int in_len = 1024, out_len = 1024;
+  const double itl_slo_ms = 15.0;   // interactive serving target
+  const double ttft_slo_s = 2.0;
+
+  std::cout << "Deployment planner: " << model << ", batch " << batch
+            << ", " << in_len << "/" << out_len << " tokens\n"
+            << "SLO: ITL <= " << itl_slo_ms << " ms/token-step, TTFT <= "
+            << ttft_slo_s << " s\n\n";
+
+  std::vector<Candidate> candidates;
+  for (int n : {1, 2, 4, 8}) {
+    for (DType dt : {DType::kFP16, DType::kFP8E4M3, DType::kINT4}) {
+      candidates.push_back({parallel::tp_plan(n), n, dt});
+      if (n > 1) {
+        candidates.push_back({parallel::tp_ep_plan(n), n, dt});
+        candidates.push_back({parallel::pp_plan(n), n, dt});
+      }
+    }
+  }
+
+  Table t("candidate configurations");
+  t.set_headers({"plan", "dtype", "thr (tok/s)", "TTFT (s)",
+                 "step latency (ms)", "mem/GPU (GiB)", "meets SLO"});
+  std::optional<Candidate> best;
+  double best_thr_per_gpu = 0.0;
+
+  for (const auto& c : candidates) {
+    core::Scenario s;
+    s.model = model;
+    s.n_devices = c.devices;
+    s.plan = c.plan;
+    s.weight_dtype = c.dtype;
+    s.batch = batch;
+    s.input_tokens = in_len;
+    s.output_tokens = out_len;
+    try {
+      const auto m = s.run();
+      // Per-step decode latency = ITL * batch (eq. 1 divides by B*out).
+      const double step_ms = m.itl_s * batch * 1e3;
+      const bool ok = step_ms <= itl_slo_ms && m.ttft_s <= ttft_slo_s;
+      t.new_row()
+          .cell(c.plan.label())
+          .cell(dtype_label(c.dtype))
+          .cell(m.throughput_tok_s, 0)
+          .cell(m.ttft_s, 2)
+          .cell(step_ms, 2)
+          .cell(m.memory.total() / kGiB, 1)
+          .cell(ok ? "yes" : "no");
+      const double per_gpu = m.throughput_tok_s / c.devices;
+      if (ok && per_gpu > best_thr_per_gpu) {
+        best_thr_per_gpu = per_gpu;
+        best = c;
+      }
+    } catch (const OutOfMemoryError&) {
+      t.new_row()
+          .cell(c.plan.label())
+          .cell(dtype_label(c.dtype))
+          .cell("OOM")
+          .cell("-")
+          .cell("-")
+          .cell("-")
+          .cell("no");
+    }
+  }
+  t.print(std::cout);
+
+  if (best) {
+    std::cout << "\nRecommendation: " << best->plan.label() << " @ "
+              << dtype_label(best->dtype) << " — best throughput per GPU ("
+              << format_fixed(best_thr_per_gpu, 0)
+              << " tok/s/GPU) within the SLO.\n";
+  } else {
+    std::cout << "\nNo candidate meets the SLO; relax it or add devices.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Prune-and-measure: the full §6.2 workflow on a *functional* MoE layer —
+// route a calibration batch, prune by activation counts (inter) and by
+// channel magnitude (intra), measure the numerical damage, then price the
+// pruned architecture on simulated H100s.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/scenario.h"
+#include "moe/moe_layer.h"
+#include "moe/pruning.h"
+
+namespace {
+
+/// Scaled-down OLMoE layer (geometry ratio preserved) so the functional
+/// pass runs in milliseconds.
+mib::moe::MoELayerConfig small_olmoe_layer() {
+  mib::moe::MoELayerConfig c;
+  c.hidden = 128;
+  c.expert_ffn = 64;
+  c.n_experts = 64;
+  c.top_k = 8;
+  return c;
+}
+
+double simulated_throughput(int experts, int ffn_scale_num,
+                            int ffn_scale_den) {
+  auto v = mib::models::olmoe_1b_7b();
+  v.n_experts = experts;
+  v.expert_ffn = v.expert_ffn * ffn_scale_num / ffn_scale_den;
+  v.top_k = std::min(v.top_k, experts);
+  mib::core::Scenario s;
+  s.model_override = v;
+  s.n_devices = 4;
+  s.batch = 16;
+  s.input_tokens = s.output_tokens = 2048;
+  return s.run().throughput_tok_s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mib;
+
+  std::cout << "Prune-and-measure on an OLMoE-style MoE layer\n\n";
+
+  // Three bit-identical layers (same seed) so each pruning variant starts
+  // from the same weights.
+  auto fresh_layer = [] {
+    Rng rng(123);
+    return moe::MoELayer(small_olmoe_layer(), rng);
+  };
+  moe::MoELayer layer = fresh_layer();
+
+  // Calibration pass: run tokens through the router to collect counts.
+  Rng xr(7);
+  const Tensor calib = Tensor::randn({512, 128}, xr);
+  const Tensor reference = layer.forward_fused(calib);
+
+  // --- inter-expert pruning at 50%, least-activated criterion ---
+  moe::MoELayer inter = fresh_layer();
+  inter.forward_fused(calib);  // collect activation counts for the criterion
+  const auto inter_report = moe::inter_expert_prune(
+      inter, 0.5, moe::ExpertPruneCriterion::kLeastActivated);
+  const Tensor inter_out = inter.forward_fused(calib);
+
+  // --- intra-expert pruning at 50%, magnitude criterion ---
+  moe::MoELayer intra = fresh_layer();
+  const auto intra_report = moe::intra_expert_prune(intra, 0.5);
+  const Tensor intra_out = intra.forward_fused(calib);
+
+  auto rel_err = [&](const Tensor& out) {
+    Tensor diff = out;
+    for (std::size_t i = 0; i < diff.size(); ++i) {
+      diff.at(i) -= reference.at(i);
+    }
+    return frobenius_norm(diff) / frobenius_norm(reference);
+  };
+
+  Table t("functional damage vs simulated speedup (50% pruning)");
+  t.set_headers({"variant", "experts", "ffn dim", "output rel-err",
+                 "sim thr @4xH100 (tok/s)"});
+  t.new_row()
+      .cell("baseline")
+      .cell(layer.config().n_experts)
+      .cell(layer.config().expert_ffn)
+      .cell(0.0, 3)
+      .cell(simulated_throughput(64, 1, 1), 0);
+  t.new_row()
+      .cell("inter 50%")
+      .cell(inter_report.experts_after)
+      .cell(inter_report.ffn_after)
+      .cell(rel_err(inter_out), 3)
+      .cell(simulated_throughput(32, 1, 1), 0);
+  t.new_row()
+      .cell("intra 50%")
+      .cell(intra_report.experts_after)
+      .cell(intra_report.ffn_after)
+      .cell(rel_err(intra_out), 3)
+      .cell(simulated_throughput(64, 1, 2), 0);
+  t.print(std::cout);
+
+  std::cout << "\nRouter activation counts steered the inter-expert choice: "
+               "the " << inter_report.removed_experts.size()
+            << " least-selected experts were removed. Intra pruning kept "
+               "the highest-magnitude half of every expert's channels.\n"
+               "Reading: both transforms trade bounded output error for "
+               "throughput — the §6.2 result, with the numerics verified "
+               "on a real layer instead of asserted.\n";
+  return 0;
+}

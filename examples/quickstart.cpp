@@ -1,0 +1,48 @@
+// Quickstart: the 20-line tour of MoE-Inference-Bench.
+//
+//   1. Pick a model from the zoo.
+//   2. Describe a serving scenario (hardware, precision, workload shape).
+//   3. run() — get the paper's metrics (TTFT / ITL / e2e / throughput).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/scenario.h"
+
+int main() {
+  using namespace mib;
+
+  core::Scenario s;
+  s.model = "OLMoE-1B-7B";      // any name from models::all_models()
+  s.device = "h100";            // "h100", "a100" or "cs3"
+  s.n_devices = 1;              // defaults to TP over the node
+  s.weight_dtype = DType::kFP16;
+  s.batch = 16;
+  s.input_tokens = 512;
+  s.output_tokens = 512;
+
+  const engine::RunMetrics m = s.run();
+
+  Table t("OLMoE-1B-7B on one H100 — batch 16, 512/512 tokens");
+  t.set_headers({"metric", "value"});
+  t.new_row().cell("time to first token").cell(format_fixed(m.ttft_s * 1e3, 1) + " ms");
+  t.new_row().cell("inter-token latency").cell(format_fixed(m.itl_s * 1e3, 3) + " ms");
+  t.new_row().cell("end-to-end latency").cell(format_fixed(m.e2e_s, 2) + " s");
+  t.new_row().cell("throughput").cell(format_fixed(m.throughput_tok_s, 0) + " tok/s");
+  t.new_row().cell("per-device memory").cell(
+      format_fixed(m.memory.total() / kGiB, 1) + " GiB");
+  t.print(std::cout);
+
+  // Sweep something — every knob is a struct field.
+  std::cout << "\nFP8 weights instead: "
+            << format_fixed(
+                   s.with_dtype(DType::kFP8E4M3).run().throughput_tok_s, 0)
+            << " tok/s\n";
+  std::cout << "Four GPUs (TP4):    "
+            << format_fixed(s.with_devices(4).run().throughput_tok_s, 0)
+            << " tok/s\n";
+  return 0;
+}

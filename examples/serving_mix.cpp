@@ -1,0 +1,87 @@
+// Serving a mixed-length request trace: uses the workload generator, the
+// paged KV-cache admission logic and the engine to estimate how a realistic
+// (Zipf-length) request mix behaves vs the uniform batches the paper
+// sweeps — including how many admission waves KV memory forces.
+#include <algorithm>
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/scenario.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace mib;
+
+  // A production-ish mix: short chats dominate, a long tail of big jobs.
+  workload::TraceConfig tc;
+  tc.n_requests = 256;
+  tc.input = {32, 4096, 1.3};
+  tc.output = {32, 2048, 1.3};
+  tc.seed = 20250704;
+  const auto trace = workload::generate_trace(tc);
+
+  Samples in_lens, out_lens;
+  for (const auto& r : trace) {
+    in_lens.add(r.input_tokens);
+    out_lens.add(r.output_tokens);
+  }
+  Table dist("trace shape (256 requests, Zipf 1.3)");
+  dist.set_headers({"", "mean", "p50", "p95", "max"});
+  dist.new_row()
+      .cell("input tokens")
+      .cell(in_lens.mean(), 0)
+      .cell(in_lens.median(), 0)
+      .cell(in_lens.percentile(95), 0)
+      .cell(in_lens.max(), 0);
+  dist.new_row()
+      .cell("output tokens")
+      .cell(out_lens.mean(), 0)
+      .cell(out_lens.median(), 0)
+      .cell(out_lens.percentile(95), 0)
+      .cell(out_lens.max(), 0);
+  dist.print(std::cout);
+
+  // Serve the trace in fixed-size admission groups; each group's cost is
+  // dominated by its longest member (static batching, as in the paper).
+  core::Scenario base;
+  base.model = "Qwen1.5-MoE-A2.7B";
+  base.n_devices = 1;
+
+  Table t("\nQwen1.5-MoE-A2.7B on one H100 — group size sweep");
+  t.set_headers({"group size", "makespan (s)", "mean thr (tok/s)",
+                 "total waves", "padding waste %"});
+  for (int group : {8, 16, 32, 64}) {
+    double makespan = 0.0;
+    double total_tokens = 0.0;
+    double padded_tokens = 0.0;
+    int waves = 0;
+    for (std::size_t i = 0; i < trace.size(); i += group) {
+      const auto last = std::min(trace.size(), i + group);
+      int max_in = 1, max_out = 1;
+      for (std::size_t j = i; j < last; ++j) {
+        max_in = std::max(max_in, trace[j].input_tokens);
+        max_out = std::max(max_out, trace[j].output_tokens);
+        total_tokens += trace[j].input_tokens + trace[j].output_tokens;
+      }
+      const auto b = static_cast<int>(last - i);
+      const auto m = base.with_batch(b).with_lengths(max_in, max_out).run();
+      makespan += m.e2e_s;
+      waves += m.waves;
+      padded_tokens += static_cast<double>(b) * (max_in + max_out);
+    }
+    t.new_row()
+        .cell(group)
+        .cell(makespan, 1)
+        .cell(total_tokens / makespan, 0)
+        .cell(waves)
+        .cell(100.0 * (1.0 - total_tokens / padded_tokens), 1);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: larger groups amortize weight reads (higher "
+               "throughput) but pad every request to the group's longest "
+               "member and stress KV memory — the batching trade-off behind "
+               "the paper's Fig. 5/6 insights, now on a realistic mix.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// End-to-end *functional* inference: build a small MoE transformer, decode
+// real tokens on the CPU with an incremental KV cache, and watch the
+// quantities the simulator reasons about — expert activation counts, the
+// KV cache growing, and the effect of pruning on actual outputs.
+//
+// Nothing here is simulated: every logit is computed.
+#include <chrono>
+#include <iostream>
+#include <numeric>
+
+#include "common/table.h"
+#include "moe/pruning.h"
+#include "moe/transformer.h"
+
+int main() {
+  using namespace mib;
+  using Clock = std::chrono::steady_clock;
+
+  moe::TransformerConfig cfg;
+  cfg.vocab = 512;
+  cfg.n_layers = 4;
+  cfg.hidden = 64;
+  cfg.n_heads = 4;
+  cfg.n_kv_heads = 2;  // GQA
+  cfg.head_dim = 16;
+  cfg.n_experts = 8;
+  cfg.top_k = 2;
+  cfg.expert_ffn = 96;
+  const moe::Transformer model(cfg, /*seed=*/2025);
+
+  std::cout << "Functional MoE transformer: " << cfg.n_layers << " layers, "
+            << cfg.n_experts << " experts (top-" << cfg.top_k << "), "
+            << model.param_count() << " parameters\n\n";
+
+  // --- decode a prompt ---
+  const std::vector<int> prompt = {11, 42, 7, 100, 3};
+  auto session = model.new_session();
+  const auto t0 = Clock::now();
+  const auto generated = model.generate(prompt, 32, session);
+  const auto dt = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::cout << "prompt:    ";
+  for (int t : prompt) std::cout << t << ' ';
+  std::cout << "\ngenerated: ";
+  for (int t : generated) std::cout << t << ' ';
+  std::cout << "\n(" << format_fixed(32.0 / dt, 1)
+            << " tok/s on this CPU; KV cache now holds "
+            << session.position() << " positions per layer)\n\n";
+
+  // --- expert activation profile of the run ---
+  const auto counts = model.activation_counts();
+  Table t("expert activations during the run (rows = layers)");
+  std::vector<std::string> headers = {"layer"};
+  for (int e = 0; e < cfg.n_experts; ++e) {
+    headers.push_back("e" + std::to_string(e));
+  }
+  headers.push_back("imbalance");
+  t.set_headers(headers);
+  for (std::size_t l = 0; l < counts.size(); ++l) {
+    t.new_row().cell("L" + std::to_string(l));
+    std::uint64_t mx = 0, total = 0;
+    for (auto c : counts[l]) {
+      t.cell(c);
+      mx = std::max(mx, c);
+      total += c;
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(cfg.n_experts);
+    t.cell(static_cast<double>(mx) / mean, 2);
+  }
+  t.print(std::cout);
+
+  // --- prune half the experts by those counts and keep decoding ---
+  moe::Transformer pruned(cfg, /*seed=*/2025);  // same weights
+  {
+    auto warm = pruned.new_session();
+    pruned.forward(prompt, warm);  // calibration counts
+  }
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    moe::inter_expert_prune(pruned.moe_layer(l), 0.5,
+                            moe::ExpertPruneCriterion::kLeastActivated);
+  }
+  auto ps = pruned.new_session();
+  const auto pruned_out = pruned.generate(prompt, 32, ps);
+  int agree = 0;
+  for (std::size_t i = 0; i < pruned_out.size(); ++i) {
+    agree += pruned_out[i] == generated[i];
+  }
+  std::cout << "\nAfter 50% inter-expert pruning (least-activated), the "
+               "pruned model agrees with the original on "
+            << agree << "/32 greedy tokens — pruning changes real outputs, "
+            << "not just simulated throughput.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "accuracy/optimization_impact.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mib::accuracy {
+
+double quantization_accuracy_delta(DType dt) {
+  switch (dt) {
+    case DType::kFP32:
+    case DType::kFP16:
+    case DType::kBF16:
+      return 0.0;
+    case DType::kFP8E4M3:
+      return -0.1;
+    case DType::kFP8E5M2:
+      return -0.4;  // 2 mantissa bits hurt weights more than e4m3
+    case DType::kINT8:
+      return -0.3;
+    case DType::kINT4:
+      return -1.2;
+  }
+  return 0.0;
+}
+
+double inter_expert_prune_accuracy_delta(double ratio) {
+  MIB_ENSURE(ratio >= 0.0 && ratio < 1.0, "prune ratio out of [0,1)");
+  // Lu et al.: removing a few experts is cheap, past ~25% quality falls off
+  // quickly (specialized experts disappear). Quadratic-plus-cubic fit with
+  // ~-2 pt at 25% and ~-10 pt at 50%.
+  return -(8.0 * ratio * ratio + 48.0 * ratio * ratio * ratio);
+}
+
+double intra_expert_prune_accuracy_delta(double ratio) {
+  MIB_ENSURE(ratio >= 0.0 && ratio < 1.0, "prune ratio out of [0,1)");
+  // Magnitude channel pruning degrades more gently (low-importance
+  // channels carry little signal): ~-1 pt at 25%, ~-5 pt at 50%.
+  return -(4.0 * ratio * ratio + 24.0 * ratio * ratio * ratio);
+}
+
+}  // namespace mib::accuracy

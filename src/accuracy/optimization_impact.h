@@ -1,0 +1,31 @@
+// Accuracy impact of inference-time optimizations.
+//
+// The paper evaluates throughput effects of quantization and pruning
+// (§6.1-6.2) and accuracy of unmodified models (§8); this module closes
+// the loop with documented accuracy *deltas* per optimization so the
+// frontier benches can show quality-vs-speed trade-offs. Deltas are
+// calibrated from the public literature the paper cites:
+//   * FP8 (e4m3, per-tensor):   ~-0.1 pt average (Kuzmin et al.; vLLM fp8)
+//   * INT8 weight-only per-row: ~-0.3 pt
+//   * INT4 g128 (GPTQ/AWQ):     ~-1.2 pt
+//   * inter-expert pruning:     Lu et al. 2024 report steep drops past 25%
+//   * intra-expert pruning:     MoE-I2 (Yang et al. 2024), gentler slope
+// Absolute values are approximations; the *ordering* and convexity are the
+// tested invariants.
+#pragma once
+
+#include "common/dtype.h"
+
+namespace mib::accuracy {
+
+/// Average-accuracy delta (percentage points, <= 0) from running weights
+/// at `dt` instead of fp16.
+double quantization_accuracy_delta(DType dt);
+
+/// Delta from removing `ratio` of the experts (inter-expert pruning).
+double inter_expert_prune_accuracy_delta(double ratio);
+
+/// Delta from shrinking every expert's FFN by `ratio` (intra-expert).
+double intra_expert_prune_accuracy_delta(double ratio);
+
+}  // namespace mib::accuracy

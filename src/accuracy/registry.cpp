@@ -1,0 +1,163 @@
+#include "accuracy/registry.h"
+
+#include <map>
+
+#include "common/error.h"
+
+namespace mib::accuracy {
+
+const std::vector<std::string>& llm_tasks() {
+  static const std::vector<std::string> v = {
+      "arc_challenge", "arc_easy",     "boolq", "hellaswag",
+      "mmlu",          "openbookqa",   "rte",   "winogrande"};
+  return v;
+}
+
+const std::vector<std::string>& vlm_tasks() {
+  static const std::vector<std::string> v = {
+      "mme",    "textvqa", "ai2d",        "docvqa",
+      "mmmu",   "infovqa", "realworldqa", "scienceqa"};
+  return v;
+}
+
+namespace {
+
+using ScoreMap = std::map<std::string, std::map<std::string, double>>;
+
+// Approximate published scores (0–100); MME normalized by /28.
+const ScoreMap& scores() {
+  static const ScoreMap m = {
+      {"Mixtral-8x7B",
+       {{"arc_challenge", 59.7},
+        {"arc_easy", 83.4},
+        {"boolq", 85.2},
+        {"hellaswag", 84.0},
+        {"mmlu", 70.6},
+        {"openbookqa", 47.0},
+        {"rte", 71.1},
+        {"winogrande", 76.2}}},
+      {"Qwen1.5-MoE-A2.7B",
+       {{"arc_challenge", 48.0},
+        {"arc_easy", 74.9},
+        {"boolq", 79.8},
+        {"hellaswag", 75.3},
+        {"mmlu", 62.5},
+        {"openbookqa", 42.4},
+        {"rte", 68.2},
+        {"winogrande", 68.4}}},
+      {"Qwen3-30B-A3B",
+       {{"arc_challenge", 63.2},
+        {"arc_easy", 85.1},
+        {"boolq", 88.3},
+        {"hellaswag", 83.6},
+        {"mmlu", 79.2},
+        {"openbookqa", 46.8},
+        {"rte", 80.1},
+        {"winogrande", 75.0}}},
+      {"DeepSeek-V2-Lite",
+       {{"arc_challenge", 48.2},
+        {"arc_easy", 76.2},
+        {"boolq", 80.3},
+        {"hellaswag", 77.0},
+        {"mmlu", 58.3},
+        {"openbookqa", 41.2},
+        {"rte", 65.0},
+        {"winogrande", 71.3}}},
+      {"Phi-3.5-MoE",
+       {{"arc_challenge", 62.7},
+        {"arc_easy", 85.8},
+        {"boolq", 86.1},
+        {"hellaswag", 81.2},
+        {"mmlu", 78.9},
+        {"openbookqa", 48.2},
+        {"rte", 77.6},
+        {"winogrande", 74.1}}},
+      {"OLMoE-1B-7B",
+       {{"arc_challenge", 49.2},
+        {"arc_easy", 77.4},
+        {"boolq", 76.8},
+        {"hellaswag", 78.0},
+        {"mmlu", 54.1},
+        {"openbookqa", 44.0},
+        {"rte", 62.1},
+        {"winogrande", 67.9}}},
+      {"DeepSeek-VL2-Tiny",
+       {{"mme", 68.4},
+        {"textvqa", 80.7},
+        {"ai2d", 71.6},
+        {"docvqa", 88.9},
+        {"mmmu", 40.7},
+        {"infovqa", 66.1},
+        {"realworldqa", 64.2},
+        {"scienceqa", 84.5}}},
+      {"DeepSeek-VL2-Small",
+       {{"mme", 75.8},
+        {"textvqa", 83.4},
+        {"ai2d", 80.0},
+        {"docvqa", 92.3},
+        {"mmmu", 48.0},
+        {"infovqa", 75.8},
+        {"realworldqa", 68.4},
+        {"scienceqa", 92.6}}},
+      {"DeepSeek-VL2",
+       {{"mme", 80.5},
+        {"textvqa", 84.2},
+        {"ai2d", 81.4},
+        {"docvqa", 93.3},
+        {"mmmu", 51.1},
+        {"infovqa", 78.1},
+        {"realworldqa", 68.4},
+        {"scienceqa", 92.2}}},
+  };
+  return m;
+}
+
+bool has_all(const std::string& model, const std::vector<std::string>& tasks) {
+  const auto it = scores().find(model);
+  if (it == scores().end()) return false;
+  for (const auto& t : tasks) {
+    if (it->second.find(t) == it->second.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<double> task_accuracy(const std::string& model,
+                                    const std::string& task) {
+  const auto it = scores().find(model);
+  if (it == scores().end()) return std::nullopt;
+  const auto jt = it->second.find(task);
+  if (jt == it->second.end()) return std::nullopt;
+  return jt->second;
+}
+
+double average_accuracy(const std::string& model,
+                        const std::vector<std::string>& tasks) {
+  MIB_ENSURE(!tasks.empty(), "no tasks given");
+  double acc = 0.0;
+  for (const auto& t : tasks) {
+    const auto s = task_accuracy(model, t);
+    MIB_ENSURE(s.has_value(), "no score for " << model << " on " << t);
+    acc += *s;
+  }
+  return acc / static_cast<double>(tasks.size());
+}
+
+std::vector<std::string> models_with_llm_scores() {
+  std::vector<std::string> out;
+  for (const auto& [model, row] : scores()) {
+    if (has_all(model, llm_tasks())) out.push_back(model);
+  }
+  return out;
+}
+
+std::vector<std::string> models_with_vlm_scores() {
+  std::vector<std::string> out;
+  for (const auto& [model, row] : scores()) {
+    if (has_all(model, vlm_tasks())) out.push_back(model);
+  }
+  return out;
+}
+
+}  // namespace mib::accuracy

@@ -1,0 +1,34 @@
+// Accuracy registry for the paper's §8 quality-vs-efficiency frontiers.
+//
+// We cannot execute lm-eval / VLMEvalKit without model weights, so per-task
+// accuracies are constants taken from the models' published evaluations
+// (model cards / technical reports; approximate to ~1 point). The
+// throughput/latency axes of Figs. 17/18 come from the simulator; only the
+// accuracy axis is tabulated. MME raw scores (0–2800) are normalized to a
+// percentage so task averages are comparable, matching common practice.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mib::accuracy {
+
+/// lm-eval language-understanding tasks used in §8.1.
+const std::vector<std::string>& llm_tasks();
+/// VLMEvalKit tasks used in §8.2.
+const std::vector<std::string>& vlm_tasks();
+
+/// Accuracy (0–100) of `model` on `task`; nullopt when not tabulated.
+std::optional<double> task_accuracy(const std::string& model,
+                                    const std::string& task);
+
+/// Mean accuracy over the given tasks; throws if any is missing.
+double average_accuracy(const std::string& model,
+                        const std::vector<std::string>& tasks);
+
+/// Models with a complete row for the LLM / VLM task sets.
+std::vector<std::string> models_with_llm_scores();
+std::vector<std::string> models_with_vlm_scores();
+
+}  // namespace mib::accuracy

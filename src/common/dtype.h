@@ -1,0 +1,76 @@
+// Numeric data types shared across the hardware model, quantization library
+// and the serving engine. The enum carries storage width; compute peaks per
+// dtype live in hw::DeviceSpec.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/error.h"
+
+namespace mib {
+
+enum class DType {
+  kFP32,
+  kFP16,
+  kBF16,
+  kFP8E4M3,
+  kFP8E5M2,
+  kINT8,
+  kINT4,
+};
+
+/// Storage size in bytes; INT4 reports 0.5 via bits_of().
+constexpr double bytes_of(DType dt) {
+  switch (dt) {
+    case DType::kFP32:
+      return 4.0;
+    case DType::kFP16:
+    case DType::kBF16:
+      return 2.0;
+    case DType::kFP8E4M3:
+    case DType::kFP8E5M2:
+    case DType::kINT8:
+      return 1.0;
+    case DType::kINT4:
+      return 0.5;
+  }
+  return 4.0;  // unreachable
+}
+
+constexpr int bits_of(DType dt) {
+  return static_cast<int>(bytes_of(dt) * 8.0);
+}
+
+inline std::string dtype_name(DType dt) {
+  switch (dt) {
+    case DType::kFP32:
+      return "fp32";
+    case DType::kFP16:
+      return "fp16";
+    case DType::kBF16:
+      return "bf16";
+    case DType::kFP8E4M3:
+      return "fp8_e4m3";
+    case DType::kFP8E5M2:
+      return "fp8_e5m2";
+    case DType::kINT8:
+      return "int8";
+    case DType::kINT4:
+      return "int4";
+  }
+  return "unknown";
+}
+
+inline DType dtype_from_name(const std::string& name) {
+  if (name == "fp32") return DType::kFP32;
+  if (name == "fp16") return DType::kFP16;
+  if (name == "bf16") return DType::kBF16;
+  if (name == "fp8" || name == "fp8_e4m3") return DType::kFP8E4M3;
+  if (name == "fp8_e5m2") return DType::kFP8E5M2;
+  if (name == "int8") return DType::kINT8;
+  if (name == "int4") return DType::kINT4;
+  throw ConfigError("unknown dtype name: " + name);
+}
+
+}  // namespace mib

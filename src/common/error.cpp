@@ -1,0 +1,13 @@
+#include "common/error.h"
+
+namespace mib::detail {
+
+void throw_ensure_failure(const char* expr, const char* file, int line,
+                          const std::string& msg) {
+  std::ostringstream oss;
+  oss << "MIB_ENSURE failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace mib::detail

@@ -1,0 +1,62 @@
+// Error handling primitives for MoE-Inference-Bench.
+//
+// Following the C++ Core Guidelines (E.2, E.3) we use exceptions for error
+// reporting and reserve assertions for programmer errors. MIB_ENSURE is the
+// project-wide precondition / invariant check: it throws mib::Error with a
+// formatted message including the failing expression and source location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mib {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a simulated configuration exceeds device memory.
+/// Benches catch this to print the paper's "missing data point = OOM" rows.
+class OutOfMemoryError : public Error {
+ public:
+  OutOfMemoryError(const std::string& what, double required_gib,
+                   double available_gib)
+      : Error(what),
+        required_gib_(required_gib),
+        available_gib_(available_gib) {}
+
+  double required_gib() const { return required_gib_; }
+  double available_gib() const { return available_gib_; }
+
+ private:
+  double required_gib_;
+  double available_gib_;
+};
+
+/// Thrown when a model / plan / scenario configuration is self-inconsistent.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_ensure_failure(const char* expr, const char* file,
+                                       int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace mib
+
+/// Precondition / invariant check that throws mib::Error on failure.
+/// Usage: MIB_ENSURE(x > 0, "x must be positive, got " << x);
+#define MIB_ENSURE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream mib_ensure_oss_;                                  \
+      mib_ensure_oss_ << msg; /* NOLINT */                                 \
+      ::mib::detail::throw_ensure_failure(#expr, __FILE__, __LINE__,       \
+                                          mib_ensure_oss_.str());          \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,56 @@
+// Deterministic random number generation.
+//
+// All stochastic components (router logits, workload sampling, synthetic
+// traces) consume an explicit Rng so every experiment is reproducible from a
+// seed printed in its header. The generator is xoshiro256** seeded via
+// splitmix64 (public-domain algorithms by Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mib {
+
+/// splitmix64 step — used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator with a std::uniform_random_bit_generator-compatible
+/// interface plus the convenience distributions this project needs.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal();
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p);
+
+  /// Sample an index from an unnormalized non-negative weight vector.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Spawn an independent stream (for per-thread / per-layer generators).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace mib

@@ -1,0 +1,144 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mib {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ ? min_ : 0.0; }
+
+double RunningStats::max() const { return n_ ? max_ : 0.0; }
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Samples::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : xs_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs_.size()));
+}
+
+double Samples::min() const {
+  MIB_ENSURE(!xs_.empty(), "min of empty sample set");
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Samples::max() const {
+  MIB_ENSURE(!xs_.empty(), "max of empty sample set");
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+double Samples::percentile(double p) const {
+  MIB_ENSURE(!xs_.empty(), "percentile of empty sample set");
+  MIB_ENSURE(p >= 0.0 && p <= 100.0, "percentile p out of range: " << p);
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  MIB_ENSURE(hi > lo, "histogram range must be non-empty");
+  MIB_ENSURE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>(std::floor(t));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  MIB_ENSURE(i < counts_.size(), "histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double coefficient_of_variation(const std::vector<std::uint64_t>& counts) {
+  if (counts.empty()) return 0.0;
+  double mean = 0.0;
+  for (auto c : counts) mean += static_cast<double>(c);
+  mean /= static_cast<double>(counts.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (auto c : counts) {
+    const double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(counts.size());
+  return std::sqrt(var) / mean;
+}
+
+double max_over_mean(const std::vector<std::uint64_t>& counts) {
+  if (counts.empty()) return 1.0;
+  double mean = 0.0;
+  std::uint64_t mx = 0;
+  for (auto c : counts) {
+    mean += static_cast<double>(c);
+    mx = std::max(mx, c);
+  }
+  mean /= static_cast<double>(counts.size());
+  if (mean == 0.0) return 1.0;
+  return static_cast<double>(mx) / mean;
+}
+
+}  // namespace mib

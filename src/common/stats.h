@@ -1,0 +1,81 @@
+// Small online/offline statistics helpers used by the engine (latency
+// distributions), the router (activation histograms) and the benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mib {
+
+/// Welford online accumulator: mean / variance / min / max without storing
+/// the samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Offline sample set with percentile queries (used for ITL distributions).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Fixed-width histogram over [lo, hi); samples outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Coefficient of variation (stddev / mean) of a count vector; used for
+/// expert load-balance reporting. Returns 0 for an all-zero vector.
+double coefficient_of_variation(const std::vector<std::uint64_t>& counts);
+
+/// max(counts) / mean(counts): the load-imbalance factor across experts or
+/// devices. Returns 1.0 for an all-zero or empty vector.
+double max_over_mean(const std::vector<std::uint64_t>& counts);
+
+}  // namespace mib

@@ -1,0 +1,55 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/table.h"
+#include "common/units.h"
+
+namespace mib {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream iss(s);
+  while (std::getline(iss, token, delim)) out.push_back(token);
+  if (!s.empty() && s.back() == delim) out.emplace_back();
+  return out;
+}
+
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string format_param_count(double params) {
+  if (params >= 1e9) return format_fixed(params / 1e9, 1) + "B";
+  if (params >= 1e6) return format_fixed(params / 1e6, 1) + "M";
+  if (params >= 1e3) return format_fixed(params / 1e3, 1) + "K";
+  return format_fixed(params, 0);
+}
+
+std::string format_bytes(double bytes) {
+  if (bytes >= kGiB) return format_fixed(bytes / kGiB, 2) + " GiB";
+  if (bytes >= kMiB) return format_fixed(bytes / kMiB, 2) + " MiB";
+  if (bytes >= kKiB) return format_fixed(bytes / kKiB, 2) + " KiB";
+  return format_fixed(bytes, 0) + " B";
+}
+
+}  // namespace mib

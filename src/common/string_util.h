@@ -1,0 +1,28 @@
+// Small string helpers shared by benches and report printers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mib {
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Split on a single-character delimiter (no empty-token suppression).
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Lower-case ASCII copy.
+std::string to_lower(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Human-readable parameter count: 1.3e9 -> "1.3B", 350e6 -> "350.0M".
+std::string format_param_count(double params);
+
+/// Human-readable byte count in GiB/MiB.
+std::string format_bytes(double bytes);
+
+}  // namespace mib

@@ -1,0 +1,118 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mib {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::set_headers(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+  return *this;
+}
+
+Table& Table::new_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  MIB_ENSURE(!rows_.empty(), "cell() before new_row()");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_fixed(value, precision));
+}
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+Table& Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+std::size_t Table::columns() const {
+  std::size_t cols = headers_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  return cols;
+}
+
+void Table::print(std::ostream& os) const {
+  const std::size_t cols = columns();
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  measure(headers_);
+  for (const auto& r : rows_) measure(r);
+
+  auto hline = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      os << ' ' << v << std::string(width[c] - v.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  hline();
+  if (!headers_.empty()) {
+    print_row(headers_);
+    hline();
+  }
+  for (const auto& r : rows_) print_row(r);
+  hline();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      const bool quote =
+          row[c].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        os << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << row[c];
+      }
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) emit(headers_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+}  // namespace mib

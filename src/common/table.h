@@ -1,0 +1,53 @@
+// ASCII / CSV table writer: every bench prints its figure's rows through
+// this so the output format matches across the suite.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mib {
+
+/// Column-aligned text table with an optional title, rendered to an ostream.
+/// Cells are strings; numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  Table& set_headers(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls append to it.
+  Table& new_row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(long long value);
+  Table& cell(std::size_t value);
+  Table& cell(int value);
+
+  /// Append a full row at once.
+  Table& add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const;
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+  /// Render as CSV (headers + rows).
+  void print_csv(std::ostream& os) const;
+
+  const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
+  const std::vector<std::string>& headers() const { return headers_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared with benches).
+std::string format_fixed(double value, int precision);
+
+}  // namespace mib

@@ -1,0 +1,170 @@
+#include "common/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mib {
+
+namespace {
+std::size_t shape_size(const std::vector<std::size_t>& shape) {
+  std::size_t n = shape.empty() ? 0 : 1;
+  for (std::size_t d : shape) {
+    MIB_ENSURE(d > 0, "tensor dimensions must be positive");
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {
+  MIB_ENSURE(shape_.size() >= 1 && shape_.size() <= 3,
+             "tensor rank must be 1..3, got " << shape_.size());
+}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, float scale) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng.normal()) * scale;
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  MIB_ENSURE(i < shape_.size(), "dim index " << i << " out of rank "
+                                             << shape_.size());
+  return shape_[i];
+}
+
+float& Tensor::at(std::size_t i) {
+  MIB_ENSURE(i < data_.size(), "flat index out of range");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  MIB_ENSURE(i < data_.size(), "flat index out of range");
+  return data_[i];
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  MIB_ENSURE(rank() == 2, "2-index access on rank-" << rank() << " tensor");
+  MIB_ENSURE(i < shape_[0] && j < shape_[1], "index out of range");
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at(std::size_t i, std::size_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+std::span<float> Tensor::row(std::size_t i) {
+  MIB_ENSURE(rank() == 2, "row() requires rank-2 tensor");
+  MIB_ENSURE(i < shape_[0], "row index out of range");
+  return {data_.data() + i * shape_[1], shape_[1]};
+}
+
+std::span<const float> Tensor::row(std::size_t i) const {
+  return const_cast<Tensor*>(this)->row(i);
+}
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out, bool b_transposed) {
+  MIB_ENSURE(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 inputs");
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b_transposed ? b.dim(0) : b.dim(1);
+  const std::size_t bk = b_transposed ? b.dim(1) : b.dim(0);
+  MIB_ENSURE(bk == k, "matmul inner dimension mismatch: " << k << " vs " << bk);
+  if (out.rank() != 2 || out.dim(0) != m || out.dim(1) != n) {
+    out = Tensor({m, n});
+  }
+
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+
+  if (b_transposed) {
+    // out[i][j] = dot(a.row(i), b.row(j)) — both rows contiguous.
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = ap + i * k;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = bp + j * k;
+        float acc = 0.0f;
+        for (std::size_t t = 0; t < k; ++t) acc += arow[t] * brow[t];
+        op[i * n + j] = acc;
+      }
+    }
+  } else {
+    // ikj loop order: streams through b and out rows.
+    std::fill(op, op + m * n, 0.0f);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* arow = ap + i * k;
+      float* orow = op + i * n;
+      for (std::size_t t = 0; t < k; ++t) {
+        const float av = arow[t];
+        if (av == 0.0f) continue;
+        const float* brow = bp + t * n;
+        for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void add_inplace(Tensor& y, const Tensor& x) {
+  MIB_ENSURE(y.same_shape(x), "add_inplace shape mismatch");
+  float* yp = y.data();
+  const float* xp = x.data();
+  for (std::size_t i = 0, n = y.size(); i < n; ++i) yp[i] += xp[i];
+}
+
+void scale_inplace(Tensor& y, float s) {
+  for (float& v : y.flat()) v *= s;
+}
+
+void silu_inplace(Tensor& y) {
+  for (float& v : y.flat()) v = v / (1.0f + std::exp(-v));
+}
+
+void softmax_rows_inplace(Tensor& y) {
+  MIB_ENSURE(y.rank() == 2, "softmax_rows requires rank-2 tensor");
+  for (std::size_t i = 0; i < y.dim(0); ++i) {
+    auto row = y.row(i);
+    const float mx = *std::max_element(row.begin(), row.end());
+    float sum = 0.0f;
+    for (float& v : row) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    for (float& v : row) v /= sum;
+  }
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  MIB_ENSURE(a.same_shape(b), "max_abs_diff shape mismatch");
+  float mx = 0.0f;
+  const float* ap = a.data();
+  const float* bp = b.data();
+  for (std::size_t i = 0, n = a.size(); i < n; ++i) {
+    mx = std::max(mx, std::abs(ap[i] - bp[i]));
+  }
+  return mx;
+}
+
+float frobenius_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (float v : a.flat()) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace mib

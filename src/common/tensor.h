@@ -1,0 +1,82 @@
+// Minimal dense float tensor used by the *functional* MoE layer.
+//
+// This is deliberately small: row-major, float32 storage, 64-byte aligned,
+// rank 1–3. It exists so that the functional router/expert code is real,
+// testable numerics rather than pseudo-code — not to compete with BLAS.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mib {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape);
+
+  /// Tensor filled with a constant.
+  static Tensor full(std::vector<std::size_t> shape, float value);
+  static Tensor zeros(std::vector<std::size_t> shape);
+  /// I.i.d. normal entries scaled by `scale` (Xavier-ish init for tests).
+  static Tensor randn(std::vector<std::size_t> shape, Rng& rng,
+                      float scale = 1.0f);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const;
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  /// Element access (rank-checked in debug via MIB_ENSURE).
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+
+  /// Row view of a rank-2 tensor.
+  std::span<float> row(std::size_t i);
+  std::span<const float> row(std::size_t i) const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// C[m,n] = A[m,k] * B[k,n]. B may optionally be interpreted transposed
+/// (B[n,k]) which matches how weight matrices are stored for cache-friendly
+/// dot products.
+void matmul(const Tensor& a, const Tensor& b, Tensor& out,
+            bool b_transposed = false);
+
+/// y += x (element-wise); shapes must match.
+void add_inplace(Tensor& y, const Tensor& x);
+
+/// Scale all elements.
+void scale_inplace(Tensor& y, float s);
+
+/// SiLU activation x * sigmoid(x), element-wise, in place.
+void silu_inplace(Tensor& y);
+
+/// Row-wise softmax of a rank-2 tensor, in place. Numerically stable.
+void softmax_rows_inplace(Tensor& y);
+
+/// Max absolute element difference; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// Frobenius norm.
+float frobenius_norm(const Tensor& a);
+
+}  // namespace mib

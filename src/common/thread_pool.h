@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a blocking task queue plus a parallel_for
+// helper used by the functional MoE layer (parallel expert execution).
+//
+// Design notes (per C++ Core Guidelines CP.*): tasks are type-erased
+// std::move_only_function-like closures; the pool owns its threads (RAII) and
+// joins on destruction; parallel_for uses static block partitioning, which is
+// the right choice for the uniform per-token work in an FFN.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mib {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a fire-and-forget task.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void wait_idle();
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
+  /// Exceptions from tasks are captured and the first one is rethrown.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool for library internals.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mib

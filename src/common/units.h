@@ -1,0 +1,35 @@
+// Unit helpers. All internal quantities use SI base units: seconds, bytes,
+// FLOPs. Helpers convert to the display units used by the paper (ms, GiB,
+// tokens/s, TFLOP/s).
+#pragma once
+
+#include <cstdint>
+
+namespace mib {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+inline constexpr double kPB = 1e15;
+
+inline constexpr double kTFLOPS = 1e12;
+inline constexpr double kPFLOPS = 1e15;
+
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+
+/// Seconds -> milliseconds.
+constexpr double to_ms(double seconds) { return seconds * 1e3; }
+/// Seconds -> microseconds.
+constexpr double to_us(double seconds) { return seconds * 1e6; }
+/// Bytes -> GiB.
+constexpr double to_gib(double bytes) { return bytes / kGiB; }
+/// Bytes -> GB (decimal).
+constexpr double to_gb(double bytes) { return bytes / kGB; }
+
+}  // namespace mib

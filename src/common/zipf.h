@@ -1,0 +1,31 @@
+// Zipf-distributed sampling over {0, ..., n-1}.
+//
+// Used to model skewed token-to-expert routing (the MolmoE-1B pattern in the
+// paper's Fig. 15) and skewed request-length distributions. P(k) ∝ 1/(k+1)^s.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mib {
+
+/// Precomputed-CDF Zipf sampler. O(n) setup, O(log n) per sample.
+class ZipfSampler {
+ public:
+  /// n: support size; s: exponent (s = 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank k (0-based).
+  double pmf(std::size_t k) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace mib

@@ -1,0 +1,99 @@
+#include "core/experiments.h"
+
+#include "common/error.h"
+
+namespace mib::core {
+
+const std::vector<ExperimentInfo>& experiments() {
+  static const std::vector<ExperimentInfo> v = {
+      {"table1", "MoE architecture comparison (9 models)",
+       "parameter accounting only", "table1_architectures"},
+      {"fig01", "Layer-wise total & active parameter breakdown",
+       "Mixtral-8x7B, OLMoE-1B-7B, Qwen1.5-MoE", "fig01_param_breakdown"},
+      {"fig03", "TTFT / ITL / end-to-end latency of LLMs",
+       "batch 64, in/out 2048", "fig03_llm_latency"},
+      {"fig04", "TTFT / ITL / end-to-end latency of VLMs",
+       "batch 64, in/out 2048, 1 image/request", "fig04_vlm_latency"},
+      {"fig05", "Throughput vs active experts (TopK) across batch sizes",
+       "DeepSeek-V2-Lite & Qwen1.5-MoE, ctx 2048, batch {1..128}",
+       "fig05_topk_batch"},
+      {"fig06", "Throughput vs batch size across in/out lengths",
+       "batch {1..128} x len {128..2048}", "fig06_len_batch"},
+      {"fig07", "Throughput vs FFN dimension",
+       "Mixtral skeleton, batch 16, len 2048, 4xH100",
+       "fig07_ffn_scaling"},
+      {"fig08", "Throughput vs number of experts",
+       "Mixtral skeleton, batch 16, len 2048, 4xH100",
+       "fig08_expert_scaling"},
+      {"fig09", "Throughput vs number of active experts",
+       "Mixtral skeleton, batch 16, len 2048, 4xH100",
+       "fig09_topk_scaling"},
+      {"fig10", "FP16 vs FP8 quantization",
+       "Mixtral-8x7B, batch & length sweeps", "fig10_quantization"},
+      {"fig11", "Inter vs intra expert pruning",
+       "OLMoE & Qwen1.5-MoE, ratios {12.5, 25, 50}%, TopK sweep",
+       "fig11_pruning"},
+      {"fig12", "Speculative decoding draft-model comparison",
+       "Qwen3-30B-A3B target, 4 Qwen3 drafts, input-length & draft-token "
+       "sweeps",
+       "fig12_specdec"},
+      {"fig13", "TP / PP / EP parallelism scaling",
+       "Mixtral-8x7B & OLMoE-1B-7B, 1-4 H100", "fig13_parallelism"},
+      {"fig14", "Fused vs non-fused MoE",
+       "Mixtral-8x7B, batch & length sweeps (+ real CPU kernel timing)",
+       "fig14_fused_moe"},
+      {"fig15", "Expert activation frequency heatmaps",
+       "DeepSeek-VL2 family + MolmoE-1B, MME-scale synthetic trace",
+       "fig15_activation_freq"},
+      {"fig16", "H100 vs Cerebras CS-3",
+       "Llama-4-Scout-17B-16E, length sweep", "fig16_h100_vs_cs3"},
+      {"fig17", "Throughput/latency vs accuracy frontier (LLMs)",
+       "6 LLMs, lm-eval 8-task average", "fig17_llm_frontier"},
+      {"fig18", "Throughput/latency vs accuracy frontier (VLMs)",
+       "DeepSeek-VL2 family, VLMEvalKit 8-task average",
+       "fig18_vlm_frontier"},
+      {"ablate_imbalance", "EP imbalance model on/off",
+       "Mixtral-8x7B TP4+EP, skew sweep", "ablate_imbalance"},
+      {"ablate_launch", "Kernel-launch overhead vs Fused MoE gain",
+       "Mixtral-8x7B, launch-cost sweep", "ablate_launch_overhead"},
+      {"ablate_kvcache", "Paged vs contiguous KV admission",
+       "OLMoE-1B-7B, mixed-length trace", "ablate_kvcache"},
+      {"ablate_scheduler", "Static gang vs continuous batching",
+       "OLMoE-1B-7B, mixed-length trace, load sweep", "ablate_scheduler"},
+      {"ablate_placement", "Contiguous vs LPT-balanced expert placement",
+       "OLMoE-1B-7B TP4+EP, skew sweep", "ablate_placement"},
+      {"extra_hw", "MoE inference across GPU generations (extension)",
+       "six LLMs on A100 / H100 / H200 / B200", "extra_hw_generations"},
+      {"extra_optimization_frontier",
+       "Quality vs throughput under combined optimizations (extension)",
+       "Mixtral-8x7B, precision x pruning grid",
+       "extra_optimization_frontier"},
+      {"extra_frontier", "Frontier-scale MoE capacity planning (extension)",
+       "DeepSeek-V3 & Kimi-K2 across GPU generations",
+       "extra_frontier_capacity"},
+      {"extra_energy", "Tokens per joule across devices (extension)",
+       "six LLMs x A100/H100/H200/B200 + CS-3 single-stream",
+       "extra_energy"},
+      {"ablate_prefix", "Prefix caching capacity & TTFT effect",
+       "chat workload with a shared system prompt", "ablate_prefix_cache"},
+      {"extra_disagg", "Disaggregated prefill/decode serving (extension)",
+       "4 LLMs, 2+2 GPU pools vs TP4 co-located", "extra_disaggregation"},
+      {"extra_offload", "Expert offloading vs OOM boundaries (extension)",
+       "Mixtral fp16 on one H100; residency and skew sweeps",
+       "extra_offload"},
+      {"trace_profile", "Simulated per-op profiler timeline",
+       "Mixtral-8x7B TP4, one decode step + one prefill", "trace_profile"},
+      {"moe_cpu_kernels", "Functional MoE layer wall-clock (fused vs staged)",
+       "google-benchmark on CPU", "moe_cpu_kernels"},
+  };
+  return v;
+}
+
+const ExperimentInfo& experiment(const std::string& id) {
+  for (const auto& e : experiments()) {
+    if (e.id == id) return e;
+  }
+  throw ConfigError("unknown experiment id: " + id);
+}
+
+}  // namespace mib::core

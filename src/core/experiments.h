@@ -1,0 +1,22 @@
+// Registry mapping every paper table/figure to its bench target — the
+// suite's table of contents (printed by `bench/suite_manifest`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mib::core {
+
+struct ExperimentInfo {
+  std::string id;           ///< "table1", "fig05", ...
+  std::string title;        ///< what the paper shows
+  std::string workload;     ///< workload / parameter summary
+  std::string bench_target; ///< binary under bench/ that regenerates it
+};
+
+const std::vector<ExperimentInfo>& experiments();
+
+/// Lookup by id; throws ConfigError when unknown.
+const ExperimentInfo& experiment(const std::string& id);
+
+}  // namespace mib::core

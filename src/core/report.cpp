@@ -1,0 +1,56 @@
+#include "core/report.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/units.h"
+#include "core/experiments.h"
+
+namespace mib::core {
+
+void print_banner(std::ostream& os, const std::string& experiment_id) {
+  const auto& e = experiment(experiment_id);
+  os << "================================================================\n"
+     << "MoE-Inference-Bench " << e.id << ": " << e.title << "\n"
+     << "workload: " << e.workload << "\n"
+     << "================================================================\n";
+}
+
+std::string metric_cell(
+    const std::function<engine::RunMetrics()>& fn,
+    const std::function<double(const engine::RunMetrics&)>& metric,
+    int precision) {
+  try {
+    return format_fixed(metric(fn()), precision);
+  } catch (const OutOfMemoryError&) {
+    return "OOM";
+  }
+}
+
+bool maybe_export_csv(const Table& table, const std::string& stem) {
+  const char* dir = std::getenv("MIB_RESULTS_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  std::filesystem::create_directories(dir);
+  const auto path = std::filesystem::path(dir) / (stem + ".csv");
+  std::ofstream out(path);
+  MIB_ENSURE(out.good(), "cannot open " << path.string() << " for writing");
+  table.print_csv(out);
+  return true;
+}
+
+double throughput_of(const engine::RunMetrics& m) {
+  return m.throughput_tok_s;
+}
+
+double ttft_ms_of(const engine::RunMetrics& m) { return to_ms(m.ttft_s); }
+
+double itl_ms_of(const engine::RunMetrics& m) { return to_ms(m.itl_s); }
+
+double e2e_s_of(const engine::RunMetrics& m) { return m.e2e_s; }
+
+double samples_per_s_of(const engine::RunMetrics& m) {
+  return m.samples_per_s;
+}
+
+}  // namespace mib::core

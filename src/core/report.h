@@ -1,0 +1,37 @@
+// Report helpers shared by the benches: uniform figure headers, metric
+// formatting, and OOM-tolerant sweep cells.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "common/table.h"
+#include "engine/engine.h"
+
+namespace mib::core {
+
+/// Print the standard experiment banner (id, title, workload).
+void print_banner(std::ostream& os, const std::string& experiment_id);
+
+/// Run `fn` and format the selected metric; returns "OOM" when the
+/// configuration exceeds device memory (the paper's missing data points).
+std::string metric_cell(const std::function<engine::RunMetrics()>& fn,
+                        const std::function<double(const engine::RunMetrics&)>&
+                            metric,
+                        int precision = 0);
+
+/// If the MIB_RESULTS_DIR environment variable is set, write the table as
+/// CSV to "$MIB_RESULTS_DIR/<stem>.csv" (creating the directory); returns
+/// whether a file was written. Lets every bench double as a data exporter
+/// for plotting without changing its stdout.
+bool maybe_export_csv(const Table& table, const std::string& stem);
+
+/// Common metric selectors.
+double throughput_of(const engine::RunMetrics& m);
+double ttft_ms_of(const engine::RunMetrics& m);
+double itl_ms_of(const engine::RunMetrics& m);
+double e2e_s_of(const engine::RunMetrics& m);
+double samples_per_s_of(const engine::RunMetrics& m);
+
+}  // namespace mib::core

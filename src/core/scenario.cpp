@@ -1,0 +1,95 @@
+#include "core/scenario.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace mib::core {
+
+models::ModelConfig Scenario::resolve_model() const {
+  if (model_override) return *model_override;
+  return models::model_by_name(model);
+}
+
+engine::EngineConfig Scenario::engine_config() const {
+  MIB_ENSURE(n_devices >= 1, "scenario needs at least one device");
+  engine::EngineConfig cfg;
+  cfg.model = resolve_model();
+
+  const std::string dev = to_lower(device);
+  if (dev == "cs3" || dev == "cs-3") {
+    cfg.cluster = hw::Cluster::cs3_system();
+  } else {
+    const auto spec = dev.empty() ? hw::h100_sxm5() : hw::device_by_name(dev);
+    if (n_devices <= 8) {
+      cfg.cluster = hw::Cluster(spec, n_devices, hw::nvlink4());
+    } else {
+      // Beyond one HGX node: NVLink within 8-GPU nodes, InfiniBand across.
+      cfg.cluster = hw::Cluster(spec, n_devices, 8, hw::nvlink4(),
+                                hw::ib_ndr400());
+    }
+  }
+
+  cfg.plan = plan;
+  if (cfg.plan.devices() == 1 && n_devices > 1) {
+    cfg.plan = parallel::tp_plan(n_devices);  // default: TP over the node
+  }
+
+  cfg.cost.weight_dtype = weight_dtype;
+  cfg.cost.act_dtype = act_dtype;
+  cfg.cost.kv_dtype = kv_dtype;
+  cfg.cost.fused_moe = fused_moe;
+  cfg.cost.routing.zipf_s = routing_skew;
+  cfg.cost.ep_balanced_placement = ep_balanced_placement;
+  cfg.validate();
+  return cfg;
+}
+
+engine::RunMetrics Scenario::run() const {
+  engine::SimEngine eng(engine_config());
+  return eng.run(batch, input_tokens, output_tokens, images_per_request);
+}
+
+Scenario Scenario::with_batch(int b) const {
+  Scenario s = *this;
+  s.batch = b;
+  return s;
+}
+
+Scenario Scenario::with_lengths(int in, int out) const {
+  Scenario s = *this;
+  s.input_tokens = in;
+  s.output_tokens = out;
+  return s;
+}
+
+Scenario Scenario::with_dtype(DType w) const {
+  Scenario s = *this;
+  s.weight_dtype = w;
+  return s;
+}
+
+Scenario Scenario::with_plan(parallel::ParallelPlan p) const {
+  Scenario s = *this;
+  s.plan = p;
+  return s;
+}
+
+Scenario Scenario::with_devices(int n) const {
+  Scenario s = *this;
+  s.n_devices = n;
+  return s;
+}
+
+Scenario Scenario::with_model(models::ModelConfig m) const {
+  Scenario s = *this;
+  s.model_override = std::move(m);
+  return s;
+}
+
+Scenario Scenario::with_fused(bool fused) const {
+  Scenario s = *this;
+  s.fused_moe = fused;
+  return s;
+}
+
+}  // namespace mib::core

@@ -1,0 +1,61 @@
+// Scenario — the one-call public API of MoE-Inference-Bench.
+//
+// A Scenario names a model (or supplies a modified architecture), a
+// hardware setup, a parallel plan, precision/fusion knobs and a workload
+// shape; run() returns the paper's metrics. Benches and examples are thin
+// loops over Scenarios.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "engine/engine.h"
+#include "models/zoo.h"
+
+namespace mib::core {
+
+struct Scenario {
+  /// Zoo model name (ignored when `model_override` is set).
+  std::string model = "OLMoE-1B-7B";
+  /// Explicit architecture (hyperparameter-sweep variants, pruned models).
+  std::optional<models::ModelConfig> model_override;
+
+  /// "h100", "a100" or "cs3".
+  std::string device = "h100";
+  int n_devices = 1;
+
+  parallel::ParallelPlan plan{};  ///< defaults to TP over all devices
+
+  DType weight_dtype = DType::kFP16;
+  DType act_dtype = DType::kFP16;
+  DType kv_dtype = DType::kFP16;
+  bool fused_moe = true;
+  double routing_skew = 0.0;  ///< Zipf exponent of expert popularity
+  /// Balanced (LPT) expert placement under EP instead of contiguous.
+  bool ep_balanced_placement = false;
+
+  int batch = 1;
+  int input_tokens = 128;
+  int output_tokens = 128;
+  int images_per_request = 0;
+
+  /// Resolve the architecture this scenario runs.
+  models::ModelConfig resolve_model() const;
+
+  /// Build the engine configuration (validates everything).
+  engine::EngineConfig engine_config() const;
+
+  /// Execute. Throws OutOfMemoryError for the paper's missing data points.
+  engine::RunMetrics run() const;
+
+  // Fluent helpers for sweep loops.
+  Scenario with_batch(int b) const;
+  Scenario with_lengths(int in, int out) const;
+  Scenario with_dtype(DType w) const;
+  Scenario with_plan(parallel::ParallelPlan p) const;
+  Scenario with_devices(int n) const;
+  Scenario with_model(models::ModelConfig m) const;
+  Scenario with_fused(bool fused) const;
+};
+
+}  // namespace mib::core

@@ -1,0 +1,80 @@
+#include "engine/disagg.h"
+
+#include "common/error.h"
+#include "engine/engine.h"
+
+namespace mib::engine {
+
+void DisaggConfig::validate() const {
+  MIB_ENSURE(prefill_devices >= 1, "prefill pool needs a device");
+  MIB_ENSURE(decode_devices >= 1, "decode pool needs a device");
+  MIB_ENSURE(transfer_link.bandwidth > 0, "transfer link needs bandwidth");
+}
+
+DisaggSimulator::DisaggSimulator(EngineConfig base, DisaggConfig disagg)
+    : base_(std::move(base)), disagg_(disagg) {
+  base_.validate();
+  disagg_.validate();
+}
+
+EngineConfig DisaggSimulator::pool_config(int devices) const {
+  EngineConfig c = base_;
+  c.cluster = hw::Cluster(base_.cluster.device(), devices, hw::nvlink4());
+  c.plan = parallel::tp_plan(devices);
+  c.plan.validate(c.model);
+  return c;
+}
+
+DisaggMetrics DisaggSimulator::run(int batch, int input_tokens,
+                                   int output_tokens) const {
+  MIB_ENSURE(batch >= 1 && input_tokens >= 1 && output_tokens >= 1,
+             "invalid workload shape");
+
+  const SimEngine prefill_pool(pool_config(disagg_.prefill_devices));
+  const SimEngine decode_pool(pool_config(disagg_.decode_devices));
+
+  DisaggMetrics m;
+
+  // Prefill runs on the prefill pool; only the first output token there.
+  const auto pf = prefill_pool.cost_model().prefill(batch, input_tokens);
+
+  // The prompt's KV cache ships to the decode pool.
+  const double kv_bytes =
+      static_cast<double>(batch) * input_tokens *
+      base_.model.kv_bytes_per_token_per_layer(base_.cost.kv_dtype) *
+      base_.model.n_layers;
+  const hw::Interconnect link(disagg_.transfer_link);
+  m.kv_transfer_s = link.p2p(kv_bytes);
+  m.ttft_s = pf.total() + m.kv_transfer_s;
+
+  // Decode runs undisturbed on the decode pool.
+  const int steps = output_tokens - 1;
+  double decode_time = 0.0;
+  if (steps > 0) {
+    const double ctx0 = input_tokens + 1;
+    const double ctx1 = input_tokens + steps;
+    const auto d0 = decode_pool.cost_model().decode_step(batch, ctx0);
+    const auto d1 = decode_pool.cost_model().decode_step(batch, ctx1);
+    decode_time = steps * 0.5 * (d0.total() + d1.total());
+  }
+  m.e2e_s = m.ttft_s + decode_time;
+  const double gen = static_cast<double>(batch) * output_tokens;
+  m.itl_s = gen > 1.0 ? (m.e2e_s - m.ttft_s) / (gen - 1.0) : 0.0;
+  m.throughput_tok_s =
+      static_cast<double>(batch) * (input_tokens + output_tokens) / m.e2e_s;
+
+  // Co-located baseline on the combined fleet.
+  const int total = disagg_.prefill_devices + disagg_.decode_devices;
+  EngineConfig co = base_;
+  int tp = total;
+  while (co.model.n_heads % tp != 0) --tp;  // largest feasible TP degree
+  co.cluster = hw::Cluster(base_.cluster.device(), tp, hw::nvlink4());
+  co.plan = parallel::tp_plan(tp);
+  const SimEngine colocated(co);
+  const auto base_run = colocated.run(batch, input_tokens, output_tokens);
+  m.colocated_throughput_tok_s = base_run.throughput_tok_s;
+  m.colocated_itl_s = base_run.itl_s;
+  return m;
+}
+
+}  // namespace mib::engine

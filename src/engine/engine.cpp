@@ -1,0 +1,148 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mib::engine {
+
+void EngineConfig::validate() const {
+  model.validate();
+  plan.validate(model);
+  MIB_ENSURE(prefill_chunk_tokens >= 1, "prefill chunk must be >= 1 token");
+}
+
+SimEngine::SimEngine(EngineConfig cfg)
+    : cfg_(std::move(cfg)),
+      cost_(cfg_.model, cfg_.cluster, cfg_.plan, cfg_.cost),
+      mem_(cfg_.model, cfg_.plan, cfg_.cost.weight_dtype, cfg_.cost.kv_dtype,
+           cfg_.cost.act_dtype) {
+  cfg_.validate();
+}
+
+int SimEngine::max_batch_without_waves(int input_tokens, int output_tokens,
+                                       int images_per_request) const {
+  const int in_eff =
+      cost_.effective_prompt_tokens(input_tokens, images_per_request);
+  const int max_ctx = in_eff + output_tokens;
+  const int chunk = std::min(cfg_.prefill_chunk_tokens, in_eff);
+  return mem_.max_concurrent_seqs(max_ctx, chunk, cfg_.cluster.device());
+}
+
+SimEngine::WaveResult SimEngine::run_wave(int batch, int in_eff,
+                                          int output_tokens,
+                                          int images_per_request,
+                                          RunMetrics& metrics) const {
+  WaveResult w;
+  // Prefill in chunks (chunked prefill bounds the activation watermark;
+  // total compute is unchanged, so we price it as one pass over the full
+  // prompt). Vision encode happens inside prefill().
+  const auto pf = cost_.prefill(batch, in_eff, images_per_request);
+  w.ttft = pf.total();
+
+  // Decode steps 2..output_tokens with growing context. The per-step cost
+  // is linear in ctx (KV reads and attention FLOPs), so integrating the two
+  // endpoints is exact; we still sample a midpoint as a guard against
+  // future nonlinearities.
+  const int steps = output_tokens - 1;
+  if (steps > 0) {
+    const double ctx0 = in_eff + 1;
+    const double ctx1 = in_eff + steps;
+    const auto d0 = cost_.decode_step(batch, ctx0);
+    const auto d1 = cost_.decode_step(batch, ctx1);
+    const auto dm = cost_.decode_step(batch, 0.5 * (ctx0 + ctx1));
+    // Simpson-style weighting handles both linear and mildly curved costs.
+    w.decode = steps * (d0.total() + 4.0 * dm.total() + d1.total()) / 6.0;
+
+    auto blend = [&](double a, double b, double c) {
+      return steps * (a + 4.0 * b + c) / 6.0;
+    };
+    metrics.decode_breakdown.attention +=
+        blend(d0.attention, dm.attention, d1.attention);
+    metrics.decode_breakdown.ffn += blend(d0.ffn, dm.ffn, d1.ffn);
+    metrics.decode_breakdown.router += blend(d0.router, dm.router, d1.router);
+    metrics.decode_breakdown.comm += blend(d0.comm, dm.comm, d1.comm);
+    metrics.decode_breakdown.head += blend(d0.head, dm.head, d1.head);
+    metrics.decode_breakdown.overhead +=
+        blend(d0.overhead, dm.overhead, d1.overhead);
+  }
+
+  metrics.prefill_breakdown.attention += pf.attention;
+  metrics.prefill_breakdown.ffn += pf.ffn;
+  metrics.prefill_breakdown.router += pf.router;
+  metrics.prefill_breakdown.comm += pf.comm;
+  metrics.prefill_breakdown.head += pf.head;
+  metrics.prefill_breakdown.vision += pf.vision;
+  metrics.prefill_breakdown.overhead += pf.overhead;
+  metrics.prefill_breakdown.bubble += pf.bubble;
+  return w;
+}
+
+RunMetrics SimEngine::run(int batch, int input_tokens, int output_tokens,
+                          int images_per_request) const {
+  MIB_ENSURE(batch >= 1, "batch must be >= 1");
+  MIB_ENSURE(input_tokens >= 1 && output_tokens >= 1,
+             "token counts must be >= 1");
+
+  const int in_eff =
+      cost_.effective_prompt_tokens(input_tokens, images_per_request);
+  const int max_ctx = in_eff + output_tokens;
+  const int chunk = std::min(cfg_.prefill_chunk_tokens, in_eff);
+
+  // Memory admission: at least one sequence must fit; otherwise this is the
+  // paper's OOM data point.
+  mem_.check(1, max_ctx, chunk, cfg_.cluster.device());
+  int wave_batch = batch;
+  int waves = 1;
+  const int max_admit = mem_.max_concurrent_seqs(max_ctx, chunk,
+                                                 cfg_.cluster.device());
+  if (max_admit < batch) {
+    if (!cfg_.allow_wave_scheduling || max_admit < 1) {
+      const auto b = mem_.breakdown(batch, max_ctx, chunk);
+      throw OutOfMemoryError(
+          cfg_.model.name + ": batch " + std::to_string(batch) +
+              " exceeds KV capacity (fits " + std::to_string(max_admit) +
+              ")",
+          b.total() / kGiB, cfg_.cluster.device().usable_mem() / kGiB);
+    }
+    waves = (batch + max_admit - 1) / max_admit;
+    wave_batch = (batch + waves - 1) / waves;  // balanced waves
+  }
+
+  RunMetrics m;
+  m.waves = waves;
+  m.memory = mem_.breakdown(wave_batch, max_ctx, chunk);
+
+  double e2e = 0.0;
+  double decode_total = 0.0;
+  int remaining = batch;
+  bool first = true;
+  while (remaining > 0) {
+    const int b = std::min(wave_batch, remaining);
+    const auto w = run_wave(b, in_eff, output_tokens, images_per_request, m);
+    if (first) {
+      m.ttft_s = w.ttft;
+      first = false;
+    }
+    e2e += w.ttft + w.decode;
+    decode_total += w.decode;
+    remaining -= b;
+  }
+
+  m.e2e_s = e2e;
+  const double total_tokens =
+      static_cast<double>(batch) * (input_tokens + output_tokens);
+  m.throughput_tok_s = total_tokens / e2e;
+  const double gen_tokens = static_cast<double>(batch) * output_tokens;
+  m.itl_s = gen_tokens > 1.0 ? (e2e - m.ttft_s) / (gen_tokens - 1.0) : 0.0;
+  m.decode_tok_s = decode_total > 0.0
+                       ? static_cast<double>(batch) * (output_tokens - 1) /
+                             decode_total
+                       : 0.0;
+  m.samples_per_s = batch / e2e;
+  return m;
+}
+
+}  // namespace mib::engine

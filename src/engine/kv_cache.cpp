@@ -1,0 +1,166 @@
+#include "engine/kv_cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mib::engine {
+
+PagedKvCache::PagedKvCache(std::size_t total_blocks, int block_tokens)
+    : total_blocks_(total_blocks), block_tokens_(block_tokens) {
+  MIB_ENSURE(total_blocks >= 1, "cache needs at least one block");
+  MIB_ENSURE(block_tokens >= 1, "block must hold at least one token");
+  free_.resize(total_blocks);
+  std::iota(free_.begin(), free_.end(), std::size_t{0});
+}
+
+std::size_t PagedKvCache::blocks_for_tokens(int tokens) const {
+  MIB_ENSURE(tokens >= 0, "negative token count");
+  return (static_cast<std::size_t>(tokens) + block_tokens_ - 1) /
+         block_tokens_;
+}
+
+int PagedKvCache::add_sequence() {
+  const int id = next_id_++;
+  seqs_.emplace(id, Sequence{});
+  return id;
+}
+
+bool PagedKvCache::append_tokens(int seq_id, int tokens) {
+  MIB_ENSURE(tokens >= 0, "negative token count");
+  auto it = seqs_.find(seq_id);
+  MIB_ENSURE(it != seqs_.end(), "unknown sequence id " << seq_id);
+  Sequence& s = it->second;
+  // Shared prefix blocks (if any) hold the first prefix tokens; private
+  // blocks cover everything past them.
+  int shared_tokens = 0;
+  if (s.prefix != 0) shared_tokens = prefixes_.at(s.prefix).tokens;
+  const int private_tokens = s.tokens + tokens - shared_tokens;
+  const std::size_t need =
+      private_tokens > 0 ? blocks_for_tokens(private_tokens) : 0;
+  if (need > s.blocks) {
+    std::size_t extra = need - s.blocks;
+    if (extra > free_.size()) {
+      evict_prefixes(extra - free_.size());
+    }
+    if (extra > free_.size()) return false;
+    free_.resize(free_.size() - extra);  // block ids are interchangeable
+    s.blocks = need;
+  }
+  s.tokens += tokens;
+  return true;
+}
+
+int PagedKvCache::sequence_tokens(int seq_id) const {
+  auto it = seqs_.find(seq_id);
+  MIB_ENSURE(it != seqs_.end(), "unknown sequence id " << seq_id);
+  return it->second.tokens;
+}
+
+std::size_t PagedKvCache::sequence_blocks(int seq_id) const {
+  auto it = seqs_.find(seq_id);
+  MIB_ENSURE(it != seqs_.end(), "unknown sequence id " << seq_id);
+  return it->second.blocks;
+}
+
+void PagedKvCache::free_sequence(int seq_id) {
+  auto it = seqs_.find(seq_id);
+  MIB_ENSURE(it != seqs_.end(), "unknown sequence id " << seq_id);
+  const std::size_t first_free = free_.size();
+  free_.resize(first_free + it->second.blocks);
+  std::iota(free_.begin() + static_cast<std::ptrdiff_t>(first_free),
+            free_.end(), std::size_t{0});
+  if (it->second.prefix != 0) {
+    auto pit = prefixes_.find(it->second.prefix);
+    MIB_ENSURE(pit != prefixes_.end(), "dangling prefix reference");
+    --pit->second.refs;  // blocks stay cached until evict_prefixes()
+  }
+  seqs_.erase(it);
+}
+
+int PagedKvCache::add_sequence_with_prefix(std::uint64_t prefix_hash,
+                                           int prefix_tokens) {
+  MIB_ENSURE(prefix_hash != 0, "prefix hash 0 is reserved");
+  MIB_ENSURE(prefix_tokens >= 1, "prefix needs at least one token");
+  auto pit = prefixes_.find(prefix_hash);
+  if (pit == prefixes_.end()) {
+    // Miss: allocate the prefix blocks and publish them.
+    const std::size_t need = blocks_for_tokens(prefix_tokens);
+    if (need > free_.size()) {
+      if (evict_prefixes(need - free_.size()) == 0 && need > free_.size()) {
+        return -1;
+      }
+      if (need > free_.size()) return -1;
+    }
+    free_.resize(free_.size() - need);
+    pit = prefixes_.emplace(prefix_hash,
+                            PrefixEntry{prefix_tokens, need, 0}).first;
+  } else {
+    MIB_ENSURE(pit->second.tokens == prefix_tokens,
+               "prefix hash collision: token count mismatch");
+  }
+  ++pit->second.refs;
+  const int id = next_id_++;
+  // The sequence starts with the prefix tokens resident but owns no
+  // private blocks yet; growth past the prefix allocates privately.
+  seqs_.emplace(id, Sequence{prefix_tokens, 0, prefix_hash});
+  return id;
+}
+
+bool PagedKvCache::prefix_cached(std::uint64_t prefix_hash) const {
+  return prefixes_.find(prefix_hash) != prefixes_.end();
+}
+
+std::size_t PagedKvCache::reclaimable_blocks() const {
+  std::size_t b = 0;
+  for (const auto& [hash, e] : prefixes_) {
+    if (e.refs == 0) b += e.blocks;
+  }
+  return b;
+}
+
+std::size_t PagedKvCache::evict_prefixes(std::size_t needed) {
+  std::size_t reclaimed = 0;
+  for (auto it = prefixes_.begin();
+       it != prefixes_.end() && reclaimed < needed;) {
+    if (it->second.refs == 0) {
+      const std::size_t first_free = free_.size();
+      free_.resize(first_free + it->second.blocks);
+      std::iota(free_.begin() + static_cast<std::ptrdiff_t>(first_free),
+                free_.end(), std::size_t{0});
+      reclaimed += it->second.blocks;
+      it = prefixes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+double PagedKvCache::occupancy() const {
+  std::size_t tokens = 0;
+  std::size_t blocks = 0;
+  for (const auto& [id, s] : seqs_) {
+    tokens += static_cast<std::size_t>(s.tokens);
+    blocks += s.blocks;
+  }
+  for (const auto& [hash, e] : prefixes_) {
+    blocks += e.blocks;
+    // Shared tokens counted once even when many sequences reference them.
+    tokens += static_cast<std::size_t>(e.tokens);
+    // Sequence token counts above include the shared prefix; subtract the
+    // duplicates so occupancy stays <= 1.
+    tokens -= static_cast<std::size_t>(e.tokens) *
+              static_cast<std::size_t>(std::max(0, e.refs));
+  }
+  if (blocks == 0) return 1.0;
+  return static_cast<double>(tokens) /
+         (static_cast<double>(blocks) * block_tokens_);
+}
+
+bool PagedKvCache::can_admit(int tokens) const {
+  return blocks_for_tokens(tokens) <= free_.size();
+}
+
+}  // namespace mib::engine

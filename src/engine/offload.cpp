@@ -1,0 +1,131 @@
+#include "engine/offload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "models/params.h"
+#include "parallel/expert_placement.h"
+
+namespace mib::engine {
+
+void OffloadConfig::validate() const {
+  MIB_ENSURE(resident_fraction > 0.0 && resident_fraction <= 1.0,
+             "resident_fraction must be in (0, 1]");
+  MIB_ENSURE(host_link.bandwidth > 0, "host link needs bandwidth");
+}
+
+OffloadEngine::OffloadEngine(EngineConfig cfg, OffloadConfig offload)
+    : cfg_(std::move(cfg)),
+      offload_(offload),
+      cost_(cfg_.model, cfg_.cluster, cfg_.plan, cfg_.cost),
+      mem_(cfg_.model, cfg_.plan, cfg_.cost.weight_dtype, cfg_.cost.kv_dtype,
+           cfg_.cost.act_dtype) {
+  cfg_.validate();
+  offload_.validate();
+  MIB_ENSURE(cfg_.model.is_moe(), "offloading targets MoE experts");
+  resident_count_ = std::max(
+      cfg_.model.top_k,
+      static_cast<int>(std::round(offload_.resident_fraction *
+                                  cfg_.model.n_experts)));
+}
+
+double OffloadEngine::miss_probability() const {
+  // Resident set = the `resident_count_` most popular experts.
+  const auto p = parallel::expert_probabilities(cfg_.model.n_experts,
+                                                cfg_.cost.routing);
+  double resident_mass = 0.0;
+  for (int i = 0; i < resident_count_; ++i) resident_mass += p[i];
+  return 1.0 - resident_mass;
+}
+
+double OffloadEngine::expected_missed_experts(double assignments) const {
+  const auto p = parallel::expert_probabilities(cfg_.model.n_experts,
+                                                cfg_.cost.routing);
+  double missed = 0.0;
+  for (int i = resident_count_; i < cfg_.model.n_experts; ++i) {
+    missed += -std::expm1(assignments * std::log1p(-p[i]));
+  }
+  return missed;
+}
+
+double OffloadEngine::resident_weight_bytes_per_device() const {
+  const double full = mem_.weight_bytes_per_device();
+  const double expert_total =
+      static_cast<double>(cfg_.model.n_experts) *
+      models::expert_params(cfg_.model) * cfg_.model.moe_layers() *
+      bytes_of(cfg_.cost.weight_dtype) / cfg_.plan.devices();
+  const double offloaded =
+      expert_total * (1.0 - static_cast<double>(resident_count_) /
+                                cfg_.model.n_experts);
+  return full - offloaded;
+}
+
+OffloadMetrics OffloadEngine::run(int batch, int input_tokens,
+                                  int output_tokens) const {
+  MIB_ENSURE(batch >= 1 && input_tokens >= 1 && output_tokens >= 1,
+             "invalid workload shape");
+
+  // Memory admission against the *resident* footprint.
+  const double ctx = input_tokens + output_tokens;
+  const double kv = batch * ctx * mem_.kv_bytes_per_token_per_device();
+  const double act = mem_.activation_bytes(
+      std::min(input_tokens, cfg_.prefill_chunk_tokens));
+  const double resident = resident_weight_bytes_per_device();
+  const double usable = cfg_.cluster.device().usable_mem();
+  if (resident + kv + act > usable) {
+    throw OutOfMemoryError(
+        cfg_.model.name + " (offloaded): resident footprint exceeds HBM",
+        (resident + kv + act) / kGiB, usable / kGiB);
+  }
+
+  const hw::Interconnect host(offload_.host_link);
+  const double expert_bytes = models::expert_params(cfg_.model) *
+                              bytes_of(cfg_.cost.weight_dtype);
+
+  // Prefill: every layer touches essentially every expert once; the
+  // offloaded ones stream in over the host link, overlapping poorly.
+  const auto pf = cost_.prefill(batch, input_tokens);
+  const double offloaded_per_layer =
+      (cfg_.model.n_experts - resident_count_) * expert_bytes;
+  const double prefill_fetch =
+      cfg_.model.moe_layers() * host.p2p(offloaded_per_layer);
+  const double ttft = pf.total() + prefill_fetch;
+
+  // Decode: each step fetches the expected distinct *missed* experts per
+  // MoE layer.
+  const double assignments =
+      static_cast<double>(batch) * cfg_.model.top_k;
+  const double missed = expected_missed_experts(assignments);
+  const double fetch_per_step =
+      cfg_.model.moe_layers() * host.p2p(missed * expert_bytes);
+
+  const int steps = output_tokens - 1;
+  double decode = 0.0;
+  if (steps > 0) {
+    const auto d0 = cost_.decode_step(batch, input_tokens + 1);
+    const auto d1 = cost_.decode_step(batch, input_tokens + steps);
+    decode = steps * (0.5 * (d0.total() + d1.total()) + fetch_per_step);
+  }
+
+  OffloadMetrics m;
+  m.run.ttft_s = ttft;
+  m.run.e2e_s = ttft + decode;
+  const double total_tokens =
+      static_cast<double>(batch) * (input_tokens + output_tokens);
+  m.run.throughput_tok_s = total_tokens / m.run.e2e_s;
+  const double gen = static_cast<double>(batch) * output_tokens;
+  m.run.itl_s = gen > 1.0 ? (m.run.e2e_s - ttft) / (gen - 1.0) : 0.0;
+  m.run.samples_per_s = batch / m.run.e2e_s;
+  m.run.memory.weights = resident;
+  m.run.memory.kv_cache = kv;
+  m.run.memory.activations = act;
+  m.hbm_weight_gib = resident / kGiB;
+  m.full_weight_gib = mem_.weight_bytes_per_device() / kGiB;
+  m.miss_rate = miss_probability();
+  m.fetch_per_step_s = fetch_per_step;
+  return m;
+}
+
+}  // namespace mib::engine

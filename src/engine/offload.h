@@ -1,0 +1,58 @@
+// Expert offloading: keep only the hottest fraction of each layer's
+// experts in HBM and fetch the rest from host memory over PCIe on demand.
+//
+// The paper's §5 OOM boundaries assume all weights are resident; offloading
+// trades those boundaries for per-step fetch traffic, governed by the same
+// coverage statistics as decode weight reads: a missed expert costs one
+// PCIe transfer of its weights. With skewed routing the resident set
+// absorbs most hits (the cache-friendly side of the imbalance the paper
+// laments); with balanced routing offloading is near-linear slowdown.
+#pragma once
+
+#include "engine/engine.h"
+
+namespace mib::engine {
+
+struct OffloadConfig {
+  /// Fraction of each layer's routed experts resident in HBM, in (0, 1].
+  double resident_fraction = 1.0;
+  /// Host link fetching missed experts.
+  hw::LinkSpec host_link = hw::pcie_gen5();
+
+  void validate() const;
+};
+
+struct OffloadMetrics {
+  engine::RunMetrics run;          ///< end-to-end metrics with fetch costs
+  double hbm_weight_gib = 0.0;     ///< resident weights per device
+  double full_weight_gib = 0.0;    ///< all-resident footprint per device
+  double miss_rate = 0.0;          ///< expected per-assignment miss prob.
+  double fetch_per_step_s = 0.0;   ///< decode-step fetch time (steady)
+};
+
+class OffloadEngine {
+ public:
+  OffloadEngine(EngineConfig cfg, OffloadConfig offload);
+
+  /// Expected fraction of routed assignments missing the resident set
+  /// (resident experts are the most popular ones under the routing model).
+  double miss_probability() const;
+
+  /// Resident weight bytes per device (attention + shared + resident
+  /// experts + embeddings).
+  double resident_weight_bytes_per_device() const;
+
+  OffloadMetrics run(int batch, int input_tokens, int output_tokens) const;
+
+ private:
+  /// Expected distinct *non-resident* experts hit by `assignments` draws.
+  double expected_missed_experts(double assignments) const;
+
+  EngineConfig cfg_;
+  OffloadConfig offload_;
+  LayerCostModel cost_;
+  MemoryModel mem_;
+  int resident_count_ = 0;
+};
+
+}  // namespace mib::engine

@@ -1,0 +1,34 @@
+// Request and batch types for the serving simulator.
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace mib::engine {
+
+/// One inference request: a prompt of input_tokens, generating
+/// output_tokens, optionally preceded by n_images image inputs (VLMs).
+struct Request {
+  int input_tokens = 0;
+  int output_tokens = 0;
+  int n_images = 0;
+
+  void validate() const {
+    MIB_ENSURE(input_tokens >= 1, "request needs at least one input token");
+    MIB_ENSURE(output_tokens >= 1, "request generates at least one token");
+    MIB_ENSURE(n_images >= 0, "negative image count");
+  }
+};
+
+/// A uniform batch (the paper's setting): `batch` identical requests.
+inline std::vector<Request> make_uniform_batch(int batch, int input_tokens,
+                                               int output_tokens,
+                                               int n_images = 0) {
+  MIB_ENSURE(batch >= 1, "batch must be >= 1");
+  Request r{input_tokens, output_tokens, n_images};
+  r.validate();
+  return std::vector<Request>(static_cast<std::size_t>(batch), r);
+}
+
+}  // namespace mib::engine

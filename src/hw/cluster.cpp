@@ -1,0 +1,41 @@
+#include "hw/cluster.h"
+
+#include "common/error.h"
+
+namespace mib::hw {
+
+Cluster::Cluster(DeviceSpec device, int n_devices, LinkSpec intra_link)
+    : Cluster(std::move(device), n_devices, n_devices, std::move(intra_link),
+              ib_ndr400()) {}
+
+Cluster::Cluster(DeviceSpec device, int n_devices, int devices_per_node,
+                 LinkSpec intra_link, LinkSpec inter_link)
+    : device_(std::move(device)),
+      n_devices_(n_devices),
+      devices_per_node_(devices_per_node),
+      intra_(std::move(intra_link)),
+      inter_(std::move(inter_link)) {
+  MIB_ENSURE(n_devices_ >= 1, "cluster needs at least one device");
+  MIB_ENSURE(devices_per_node_ >= 1, "devices_per_node must be >= 1");
+}
+
+const Interconnect& Cluster::interconnect_for_group(int group) const {
+  MIB_ENSURE(group >= 1 && group <= n_devices_,
+             "collective group " << group << " exceeds cluster size "
+                                 << n_devices_);
+  return group <= devices_per_node_ ? intra_ : inter_;
+}
+
+double Cluster::total_usable_mem() const {
+  return device_.usable_mem() * n_devices_;
+}
+
+Cluster Cluster::h100_node(int n_devices) {
+  MIB_ENSURE(n_devices >= 1 && n_devices <= 8,
+             "an HGX H100 node holds 1..8 GPUs, got " << n_devices);
+  return Cluster(h100_sxm5(), n_devices, nvlink4());
+}
+
+Cluster Cluster::cs3_system() { return Cluster(cs3(), 1, nvlink4()); }
+
+}  // namespace mib::hw

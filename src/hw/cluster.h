@@ -1,0 +1,52 @@
+// A Cluster is N identical devices joined by an intra-node link (and,
+// optionally, an inter-node link when N exceeds devices_per_node). The
+// engine asks it for aggregate memory and for the interconnect that a given
+// collective crosses.
+#pragma once
+
+#include "hw/device.h"
+#include "hw/interconnect.h"
+
+namespace mib::hw {
+
+class Cluster {
+ public:
+  /// Single-node cluster of `n_devices` devices on one intra-node link.
+  Cluster(DeviceSpec device, int n_devices, LinkSpec intra_link);
+
+  /// Multi-node cluster.
+  Cluster(DeviceSpec device, int n_devices, int devices_per_node,
+          LinkSpec intra_link, LinkSpec inter_link);
+
+  const DeviceSpec& device() const { return device_; }
+  int size() const { return n_devices_; }
+  int devices_per_node() const { return devices_per_node_; }
+  int nodes() const {
+    return (n_devices_ + devices_per_node_ - 1) / devices_per_node_;
+  }
+
+  /// Interconnect governing a collective over `group` devices: if the group
+  /// fits in one node it runs on the intra-node link, else on the slower
+  /// inter-node link (conservative bottleneck model).
+  const Interconnect& interconnect_for_group(int group) const;
+
+  const Interconnect& intra() const { return intra_; }
+  const Interconnect& inter() const { return inter_; }
+
+  /// Total usable memory across all devices (bytes).
+  double total_usable_mem() const;
+
+  /// Convenience: 1..8x H100 SXM5 on NVLink4.
+  static Cluster h100_node(int n_devices);
+  /// Single CS-3.
+  static Cluster cs3_system();
+
+ private:
+  DeviceSpec device_;
+  int n_devices_;
+  int devices_per_node_;
+  Interconnect intra_;
+  Interconnect inter_;
+};
+
+}  // namespace mib::hw

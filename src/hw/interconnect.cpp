@@ -1,0 +1,78 @@
+#include "hw/interconnect.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mib::hw {
+
+LinkSpec nvlink4() {
+  return LinkSpec{.name = "NVLink4", .bandwidth = 450.0 * kGB,
+                  .latency = 2.0e-6};
+}
+
+LinkSpec pcie_gen5() {
+  return LinkSpec{.name = "PCIe-Gen5-x16", .bandwidth = 64.0 * kGB,
+                  .latency = 5.0e-6};
+}
+
+LinkSpec ib_ndr400() {
+  return LinkSpec{.name = "IB-NDR400", .bandwidth = 50.0 * kGB,
+                  .latency = 8.0e-6};
+}
+
+Interconnect::Interconnect(LinkSpec link) : link_(std::move(link)) {
+  MIB_ENSURE(link_.bandwidth > 0, "link bandwidth must be positive");
+  MIB_ENSURE(link_.latency >= 0, "link latency must be non-negative");
+}
+
+double Interconnect::allreduce(double bytes, int n) const {
+  MIB_ENSURE(bytes >= 0, "negative bytes");
+  MIB_ENSURE(n >= 1, "allreduce needs n >= 1");
+  if (n == 1 || bytes == 0.0) return 0.0;
+  // Ring allreduce: 2(n-1)/n of the data crosses each link, 2(n-1) steps.
+  const double volume = 2.0 * (n - 1) / n * bytes;
+  return volume / link_.bandwidth + 2.0 * (n - 1) * link_.latency;
+}
+
+double Interconnect::allgather(double bytes_per_rank, int n) const {
+  MIB_ENSURE(bytes_per_rank >= 0, "negative bytes");
+  MIB_ENSURE(n >= 1, "allgather needs n >= 1");
+  if (n == 1 || bytes_per_rank == 0.0) return 0.0;
+  const double volume = (n - 1) * bytes_per_rank;
+  return volume / link_.bandwidth + (n - 1) * link_.latency;
+}
+
+double Interconnect::reduce_scatter(double bytes, int n) const {
+  MIB_ENSURE(bytes >= 0, "negative bytes");
+  MIB_ENSURE(n >= 1, "reduce_scatter needs n >= 1");
+  if (n == 1 || bytes == 0.0) return 0.0;
+  const double volume = (n - 1) / static_cast<double>(n) * bytes;
+  return volume / link_.bandwidth + (n - 1) * link_.latency;
+}
+
+double Interconnect::all_to_all(double bytes, int n) const {
+  MIB_ENSURE(bytes >= 0, "negative bytes");
+  MIB_ENSURE(n >= 1, "all_to_all needs n >= 1");
+  if (n == 1 || bytes == 0.0) return 0.0;
+  // Pairwise exchange: each rank keeps 1/n locally, sends (n-1)/n.
+  const double volume = (n - 1) / static_cast<double>(n) * bytes;
+  return volume / link_.bandwidth + (n - 1) * link_.latency;
+}
+
+double Interconnect::p2p(double bytes) const {
+  MIB_ENSURE(bytes >= 0, "negative bytes");
+  if (bytes == 0.0) return 0.0;
+  return bytes / link_.bandwidth + link_.latency;
+}
+
+double Interconnect::broadcast(double bytes, int n) const {
+  MIB_ENSURE(bytes >= 0, "negative bytes");
+  MIB_ENSURE(n >= 1, "broadcast needs n >= 1");
+  if (n == 1 || bytes == 0.0) return 0.0;
+  const double hops = std::ceil(std::log2(static_cast<double>(n)));
+  return hops * (bytes / link_.bandwidth + link_.latency);
+}
+
+}  // namespace mib::hw

@@ -1,0 +1,50 @@
+// Interconnect and collective-communication cost model.
+//
+// Costs follow the standard alpha-beta (latency-bandwidth) model with
+// ring-algorithm volumes for allreduce / allgather / reduce-scatter and a
+// pairwise-exchange model for all-to-all. These are the collectives TP, PP
+// and EP insert into the forward pass (§7.1 of the paper).
+#pragma once
+
+#include <string>
+
+namespace mib::hw {
+
+/// Point-to-point link characteristics (per-direction, per-device).
+struct LinkSpec {
+  std::string name;
+  double bandwidth = 0.0;  ///< bytes/s per direction per device
+  double latency = 0.0;    ///< seconds per hop (alpha)
+};
+
+/// NVLink4 (H100 SXM): 900 GB/s aggregate bidirectional = 450 GB/s each way.
+LinkSpec nvlink4();
+/// PCIe Gen5 x16: 64 GB/s each way.
+LinkSpec pcie_gen5();
+/// InfiniBand NDR 400 (inter-node): 50 GB/s each way.
+LinkSpec ib_ndr400();
+
+class Interconnect {
+ public:
+  explicit Interconnect(LinkSpec link);
+
+  const LinkSpec& link() const { return link_; }
+
+  /// Ring allreduce of `bytes` per rank across `n` ranks.
+  double allreduce(double bytes, int n) const;
+  /// Ring allgather: each rank contributes `bytes_per_rank`.
+  double allgather(double bytes_per_rank, int n) const;
+  /// Ring reduce-scatter of `bytes` per rank.
+  double reduce_scatter(double bytes, int n) const;
+  /// All-to-all where each rank sends `bytes` total, split across peers.
+  double all_to_all(double bytes, int n) const;
+  /// Point-to-point transfer.
+  double p2p(double bytes) const;
+  /// Broadcast `bytes` from one rank to n-1 peers (tree).
+  double broadcast(double bytes, int n) const;
+
+ private:
+  LinkSpec link_;
+};
+
+}  // namespace mib::hw

@@ -1,0 +1,88 @@
+#include "models/config.h"
+
+#include "common/error.h"
+
+namespace mib::models {
+
+std::string attention_kind_name(AttentionKind k) {
+  switch (k) {
+    case AttentionKind::kMHA:
+      return "MHA";
+    case AttentionKind::kGQA:
+      return "GQA";
+    case AttentionKind::kMLA:
+      return "MLA";
+  }
+  return "?";
+}
+
+std::string modality_name(Modality m) {
+  return m == Modality::kText ? "Text" : "Text+Image";
+}
+
+double VisionTowerConfig::params() const {
+  // ViT block: attention (4 * h^2) + MLP (2 * h * intermediate) + norms.
+  const double h = hidden;
+  const double per_layer = 4.0 * h * h + 2.0 * h * intermediate + 4.0 * h;
+  const double patch_embed = 3.0 * 14.0 * 14.0 * h;  // 14x14 patch conv
+  const double pos_embed = (image_size / 14.0) * (image_size / 14.0) * h;
+  return n_layers * per_layer + patch_embed + pos_embed;
+}
+
+double ModelConfig::kv_bytes_per_token_per_layer(DType kv_dtype) const {
+  if (attention == AttentionKind::kMLA) {
+    return (mla_kv_rank + mla_rope_dim) * bytes_of(kv_dtype);
+  }
+  return 2.0 * n_kv_heads * head_dim * bytes_of(kv_dtype);
+}
+
+void ModelConfig::validate() const {
+  MIB_ENSURE(!name.empty(), "model needs a name");
+  MIB_ENSURE(n_layers > 0, name << ": n_layers must be positive");
+  MIB_ENSURE(hidden > 0, name << ": hidden must be positive");
+  MIB_ENSURE(vocab > 0, name << ": vocab must be positive");
+  MIB_ENSURE(n_heads > 0, name << ": n_heads must be positive");
+  MIB_ENSURE(n_kv_heads > 0 && n_kv_heads <= n_heads,
+             name << ": n_kv_heads must be in [1, n_heads]");
+  MIB_ENSURE(n_heads % n_kv_heads == 0,
+             name << ": n_heads must be divisible by n_kv_heads");
+  MIB_ENSURE(head_dim > 0, name << ": head_dim must be positive");
+
+  if (attention == AttentionKind::kMHA) {
+    MIB_ENSURE(n_kv_heads == n_heads, name << ": MHA requires kv==q heads");
+  }
+  if (attention == AttentionKind::kMLA) {
+    MIB_ENSURE(mla_kv_rank > 0, name << ": MLA requires mla_kv_rank");
+    MIB_ENSURE(mla_rope_dim >= 0, name << ": negative mla_rope_dim");
+  }
+
+  if (is_moe()) {
+    MIB_ENSURE(top_k >= 1 && top_k <= n_experts,
+               name << ": top_k must be in [1, n_experts]");
+    MIB_ENSURE(expert_ffn > 0, name << ": MoE needs expert_ffn");
+    MIB_ENSURE(n_dense_layers >= 0 && n_dense_layers < n_layers,
+               name << ": n_dense_layers out of range");
+    if (n_dense_layers > 0) {
+      MIB_ENSURE(dense_ffn > 0,
+                 name << ": dense layers need dense_ffn");
+    }
+    if (n_shared_experts > 0) {
+      MIB_ENSURE(shared_expert_ffn > 0,
+                 name << ": shared experts need shared_expert_ffn");
+    }
+  } else {
+    MIB_ENSURE(dense_ffn > 0, name << ": dense model needs dense_ffn");
+    MIB_ENSURE(top_k == 0 && n_shared_experts == 0,
+               name << ": dense model cannot have routing fields");
+  }
+
+  MIB_ENSURE(sw_efficiency > 0.0 && sw_efficiency <= 1.0,
+             name << ": sw_efficiency must be in (0, 1]");
+
+  if (modality == Modality::kTextImage) {
+    MIB_ENSURE(vision.has_value(),
+               name << ": image modality requires a vision tower");
+  }
+}
+
+}  // namespace mib::models

@@ -1,0 +1,108 @@
+// Architecture descriptors.
+//
+// A ModelConfig fully determines per-layer FLOPs, weight bytes and KV-cache
+// layout — everything the cost model needs. Parameter counting against the
+// published total/active counts is the correctness check (see
+// tests/models/test_zoo_params.cpp).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/dtype.h"
+
+namespace mib::models {
+
+enum class AttentionKind {
+  kMHA,  ///< full multi-head attention (n_kv_heads == n_heads)
+  kGQA,  ///< grouped-query attention
+  kMLA,  ///< DeepSeek multi-head latent attention (compressed KV)
+};
+
+enum class Modality { kText, kTextImage };
+
+std::string attention_kind_name(AttentionKind k);
+std::string modality_name(Modality m);
+
+/// Vision encoder attached to a VLM (SigLIP-class ViT).
+struct VisionTowerConfig {
+  int n_layers = 27;
+  int hidden = 1152;
+  int n_heads = 16;
+  int intermediate = 4304;
+  int patch_tokens = 576;  ///< visual tokens fed to the LLM per image
+  int image_size = 384;
+  /// Host-side image preprocessing (decode, dynamic tiling, resize,
+  /// normalize) per image, in seconds. This CPU stage is shared by every
+  /// model size and is what compresses TTFT gaps across a VLM family.
+  double preprocess_s = 0.030;
+
+  /// Encoder parameter count (ViT blocks + patch embed).
+  double params() const;
+};
+
+struct ModelConfig {
+  std::string name;
+  Modality modality = Modality::kText;
+
+  int n_layers = 0;
+  int hidden = 0;
+  int vocab = 0;
+  bool tied_embeddings = false;
+
+  // --- attention ---
+  AttentionKind attention = AttentionKind::kMHA;
+  int n_heads = 0;
+  int n_kv_heads = 0;
+  int head_dim = 0;
+  // MLA (DeepSeek-V2) geometry; ignored unless attention == kMLA.
+  int mla_kv_rank = 0;    ///< compressed KV latent dim (c_KV)
+  int mla_rope_dim = 0;   ///< decoupled RoPE key dim
+  int mla_qk_nope_dim = 0;  ///< per-head non-RoPE QK dim
+  /// Query low-rank dim (DeepSeek-V3/Kimi-K2); 0 = full-rank queries
+  /// (DeepSeek-V2-Lite).
+  int mla_q_rank = 0;
+
+  // --- FFN / MoE ---
+  /// FFN dim of dense layers (used by dense models and by the first
+  /// n_dense_layers of DeepSeek-style MoEs).
+  int dense_ffn = 0;
+  /// Number of routed experts; 0 means a dense model.
+  int n_experts = 0;
+  /// Active (routed) experts per token.
+  int top_k = 0;
+  /// Per-expert FFN dim.
+  int expert_ffn = 0;
+  /// Always-on shared experts (DeepSeek / Qwen1.5 / Llama-4 style).
+  int n_shared_experts = 0;
+  /// FFN dim of EACH shared expert.
+  int shared_expert_ffn = 0;
+  /// Leading layers that use a dense FFN instead of MoE.
+  int n_dense_layers = 0;
+
+  std::optional<VisionTowerConfig> vision;
+
+  /// Software-stack efficiency on the serving framework (1.0 = fully tuned
+  /// kernels). Architectures without tuned fused-MoE configs in vLLM at the
+  /// paper's timeframe (notably Phi-3.5-MoE) sustain a lower fraction of
+  /// hardware peak; the factor divides kernel compute/memory throughput.
+  double sw_efficiency = 1.0;
+
+  // --- derived ---
+  bool is_moe() const { return n_experts > 0; }
+  int moe_layers() const { return is_moe() ? n_layers - n_dense_layers : 0; }
+  int dense_layers() const {
+    return is_moe() ? n_dense_layers : n_layers;
+  }
+  /// Experts activated per token including shared experts.
+  int active_experts() const { return top_k + n_shared_experts; }
+
+  /// KV-cache bytes per token per layer. GQA/MHA store 2*kv_heads*head_dim
+  /// values; MLA stores the compressed latent + decoupled RoPE key.
+  double kv_bytes_per_token_per_layer(DType kv_dtype) const;
+
+  /// Sanity-check internal consistency; throws ConfigError on violation.
+  void validate() const;
+};
+
+}  // namespace mib::models

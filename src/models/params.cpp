@@ -1,0 +1,110 @@
+#include "models/params.h"
+
+#include "common/error.h"
+
+namespace mib::models {
+
+double attention_params_per_layer(const ModelConfig& cfg) {
+  const double h = cfg.hidden;
+  if (cfg.attention == AttentionKind::kMLA) {
+    // DeepSeek-V2 MLA: queries project to per-head (nope + rope) dims; KV
+    // goes through a low-rank latent of mla_kv_rank plus a decoupled RoPE
+    // key, then up-projects to per-head K(nope) and V.
+    const double q_dim = cfg.n_heads *
+                         (cfg.mla_qk_nope_dim + cfg.mla_rope_dim);
+    // Full-rank queries (V2-Lite) or a query LoRA (V3 / K2).
+    const double q_proj = cfg.mla_q_rank > 0
+                              ? h * cfg.mla_q_rank + cfg.mla_q_rank * q_dim
+                              : h * q_dim;
+    const double kv_down = h * (cfg.mla_kv_rank + cfg.mla_rope_dim);
+    const double kv_up =
+        cfg.mla_kv_rank * cfg.n_heads * (cfg.mla_qk_nope_dim + cfg.head_dim);
+    const double o_proj = cfg.n_heads * cfg.head_dim * h;
+    return q_proj + kv_down + kv_up + o_proj;
+  }
+  const double q_proj = h * cfg.n_heads * cfg.head_dim;
+  const double k_proj = h * cfg.n_kv_heads * cfg.head_dim;
+  const double v_proj = h * cfg.n_kv_heads * cfg.head_dim;
+  const double o_proj = cfg.n_heads * cfg.head_dim * h;
+  return q_proj + k_proj + v_proj + o_proj;
+}
+
+double expert_params(const ModelConfig& cfg) {
+  return 3.0 * cfg.hidden * cfg.expert_ffn;  // SwiGLU gate/up/down
+}
+
+double shared_expert_params_per_layer(const ModelConfig& cfg) {
+  return cfg.n_shared_experts * 3.0 * cfg.hidden * cfg.shared_expert_ffn;
+}
+
+double router_params_per_layer(const ModelConfig& cfg) {
+  return static_cast<double>(cfg.hidden) * cfg.n_experts;
+}
+
+double dense_ffn_params_per_layer(const ModelConfig& cfg) {
+  return 3.0 * cfg.hidden * cfg.dense_ffn;
+}
+
+double norm_params_per_layer(const ModelConfig& cfg) {
+  return 2.0 * cfg.hidden;
+}
+
+double embedding_params(const ModelConfig& cfg) {
+  const double one_side = static_cast<double>(cfg.vocab) * cfg.hidden;
+  return cfg.tied_embeddings ? one_side : 2.0 * one_side;
+}
+
+namespace {
+double vision_params(const ModelConfig& cfg) {
+  return cfg.vision ? cfg.vision->params() : 0.0;
+}
+}  // namespace
+
+double total_params(const ModelConfig& cfg) {
+  cfg.validate();
+  double total = embedding_params(cfg) + vision_params(cfg);
+  for (const auto& layer : layer_breakdown(cfg)) total += layer.total();
+  return total;
+}
+
+double active_params(const ModelConfig& cfg) {
+  cfg.validate();
+  double total = embedding_params(cfg) + vision_params(cfg);
+  for (const auto& layer : layer_breakdown(cfg)) total += layer.active();
+  return total;
+}
+
+double weight_bytes(const ModelConfig& cfg, DType dt) {
+  cfg.validate();
+  double norm_total = 0.0;
+  for (int i = 0; i < cfg.n_layers; ++i) {
+    norm_total += norm_params_per_layer(cfg);
+  }
+  const double main = total_params(cfg) - norm_total;
+  return main * bytes_of(dt) + norm_total * bytes_of(DType::kFP32);
+}
+
+std::vector<LayerBreakdown> layer_breakdown(const ModelConfig& cfg) {
+  std::vector<LayerBreakdown> out;
+  out.reserve(cfg.n_layers);
+  for (int i = 0; i < cfg.n_layers; ++i) {
+    LayerBreakdown lb;
+    lb.layer = i;
+    lb.attention = attention_params_per_layer(cfg);
+    lb.norms = norm_params_per_layer(cfg);
+    const bool moe_layer = cfg.is_moe() && i >= cfg.n_dense_layers;
+    lb.is_moe_layer = moe_layer;
+    if (moe_layer) {
+      const double shared = shared_expert_params_per_layer(cfg);
+      lb.ffn_total = cfg.n_experts * expert_params(cfg) + shared;
+      lb.ffn_active = cfg.top_k * expert_params(cfg) + shared;
+      lb.router = router_params_per_layer(cfg);
+    } else {
+      lb.ffn_total = lb.ffn_active = dense_ffn_params_per_layer(cfg);
+    }
+    out.push_back(lb);
+  }
+  return out;
+}
+
+}  // namespace mib::models

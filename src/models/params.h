@@ -1,0 +1,64 @@
+// Parameter and weight-memory accounting.
+//
+// These formulas reproduce the published total / active parameter counts of
+// every model in the zoo (validated in tests against Table 1 of the paper),
+// and feed both Fig. 1 (layer-wise breakdown) and the engine's OOM model.
+#pragma once
+
+#include <vector>
+
+#include "common/dtype.h"
+#include "models/config.h"
+
+namespace mib::models {
+
+/// Parameter count of one attention block (Q/K/V/O projections; MLA uses the
+/// low-rank decomposition).
+double attention_params_per_layer(const ModelConfig& cfg);
+
+/// One routed expert: SwiGLU gate + up + down = 3 * hidden * expert_ffn.
+double expert_params(const ModelConfig& cfg);
+
+/// All shared experts of one layer.
+double shared_expert_params_per_layer(const ModelConfig& cfg);
+
+/// Router/gate matrix of one MoE layer.
+double router_params_per_layer(const ModelConfig& cfg);
+
+/// Dense FFN block (SwiGLU) of one dense layer.
+double dense_ffn_params_per_layer(const ModelConfig& cfg);
+
+/// RMSNorm weights of one layer (2 norms).
+double norm_params_per_layer(const ModelConfig& cfg);
+
+/// Embedding (+ LM head unless tied).
+double embedding_params(const ModelConfig& cfg);
+
+/// Total parameters including the vision tower if present.
+double total_params(const ModelConfig& cfg);
+
+/// Parameters touched per token: attention + norms + router + shared
+/// experts + top-k routed experts + embeddings (+ vision tower).
+double active_params(const ModelConfig& cfg);
+
+/// Weight memory in bytes when stored in `dt` (norms kept at fp32 — they
+/// are negligible, <0.01%).
+double weight_bytes(const ModelConfig& cfg, DType dt);
+
+/// Per-layer category breakdown for the paper's Fig. 1.
+struct LayerBreakdown {
+  int layer = 0;
+  bool is_moe_layer = false;
+  double attention = 0.0;
+  double ffn_total = 0.0;    ///< all experts (or dense FFN)
+  double ffn_active = 0.0;   ///< top-k + shared experts (or dense FFN)
+  double router = 0.0;
+  double norms = 0.0;
+
+  double total() const { return attention + ffn_total + router + norms; }
+  double active() const { return attention + ffn_active + router + norms; }
+};
+
+std::vector<LayerBreakdown> layer_breakdown(const ModelConfig& cfg);
+
+}  // namespace mib::models

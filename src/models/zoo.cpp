@@ -1,0 +1,367 @@
+#include "models/zoo.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace mib::models {
+
+ModelConfig mixtral_8x7b() {
+  ModelConfig c;
+  c.name = "Mixtral-8x7B";
+  c.n_layers = 32;
+  c.hidden = 4096;
+  c.vocab = 32000;
+  c.attention = AttentionKind::kGQA;
+  c.n_heads = 32;
+  c.n_kv_heads = 8;
+  c.head_dim = 128;
+  c.n_experts = 8;
+  c.top_k = 2;
+  c.expert_ffn = 14336;
+  c.validate();
+  return c;
+}
+
+ModelConfig qwen15_moe_a27b() {
+  ModelConfig c;
+  c.name = "Qwen1.5-MoE-A2.7B";
+  c.n_layers = 24;
+  c.hidden = 2048;
+  c.vocab = 151936;
+  c.attention = AttentionKind::kMHA;
+  c.n_heads = 16;
+  c.n_kv_heads = 16;
+  c.head_dim = 128;
+  c.n_experts = 60;
+  c.top_k = 4;
+  c.expert_ffn = 1408;
+  c.n_shared_experts = 1;
+  c.shared_expert_ffn = 5632;
+  c.validate();
+  return c;
+}
+
+ModelConfig qwen3_30b_a3b() {
+  ModelConfig c;
+  c.name = "Qwen3-30B-A3B";
+  c.n_layers = 48;
+  c.hidden = 2048;
+  c.vocab = 151936;
+  c.attention = AttentionKind::kGQA;
+  c.n_heads = 32;
+  c.n_kv_heads = 4;
+  c.head_dim = 128;
+  c.n_experts = 128;
+  c.top_k = 8;
+  c.expert_ffn = 768;
+  c.validate();
+  return c;
+}
+
+ModelConfig deepseek_v2_lite() {
+  ModelConfig c;
+  c.name = "DeepSeek-V2-Lite";
+  c.n_layers = 27;
+  c.hidden = 2048;
+  c.vocab = 102400;
+  c.attention = AttentionKind::kMLA;
+  c.n_heads = 16;
+  c.n_kv_heads = 16;  // MLA: all heads share the compressed latent
+  c.head_dim = 128;   // value head dim
+  c.mla_kv_rank = 512;
+  c.mla_rope_dim = 64;
+  c.mla_qk_nope_dim = 128;
+  c.n_experts = 64;
+  c.top_k = 6;
+  c.expert_ffn = 1408;
+  c.n_shared_experts = 2;
+  c.shared_expert_ffn = 1408;
+  c.n_dense_layers = 1;
+  c.dense_ffn = 10944;
+  c.validate();
+  return c;
+}
+
+ModelConfig phi35_moe() {
+  ModelConfig c;
+  c.name = "Phi-3.5-MoE";
+  c.n_layers = 32;
+  c.hidden = 4096;
+  c.vocab = 32064;
+  c.attention = AttentionKind::kGQA;
+  c.n_heads = 32;
+  c.n_kv_heads = 8;
+  c.head_dim = 128;
+  c.n_experts = 16;
+  c.top_k = 2;
+  c.expert_ffn = 6400;
+  // vLLM had no tuned fused-MoE kernel configuration for Phi-3.5-MoE in the
+  // paper's timeframe; the paper observes it as the slowest model despite a
+  // mid-size active parameter count (Fig. 17).
+  c.sw_efficiency = 0.68;
+  c.validate();
+  return c;
+}
+
+ModelConfig olmoe_1b_7b() {
+  ModelConfig c;
+  c.name = "OLMoE-1B-7B";
+  c.n_layers = 16;
+  c.hidden = 2048;
+  c.vocab = 50304;
+  c.attention = AttentionKind::kMHA;
+  c.n_heads = 16;
+  c.n_kv_heads = 16;
+  c.head_dim = 128;
+  c.n_experts = 64;
+  c.top_k = 8;
+  // Table 1 lists "FFN dim 8192" = top_k (8) x the real per-expert dim
+  // (1024); the per-expert value is what reproduces the 6.9B total.
+  c.expert_ffn = 1024;
+  c.validate();
+  return c;
+}
+
+namespace {
+VisionTowerConfig siglip_400m() {
+  VisionTowerConfig v;
+  v.n_layers = 27;
+  v.hidden = 1152;
+  v.n_heads = 16;
+  v.intermediate = 4304;
+  v.patch_tokens = 576;
+  v.image_size = 384;
+  return v;
+}
+}  // namespace
+
+// DeepSeek-VL2 family: the public papers state total/active budgets
+// (3B/1.0B, 16B/2.8B, 27B/4.5B) built on DeepSeekMoE LLM backbones with a
+// SigLIP-400M-class vision tower. Geometry below is calibrated to those
+// budgets with DeepSeekMoE-style 64-expert top-6 + 2-shared routing.
+ModelConfig deepseek_vl2_tiny() {
+  ModelConfig c;
+  c.name = "DeepSeek-VL2-Tiny";
+  c.modality = Modality::kTextImage;
+  c.n_layers = 12;
+  c.hidden = 1280;
+  c.vocab = 102400;
+  // The VL2 family's DeepSeekMoE backbones use Multi-head Latent
+  // Attention; the compressed KV cache is what lets the 27B model serve
+  // batch-64 long-context workloads on one GPU (paper Fig. 4).
+  c.attention = AttentionKind::kMLA;
+  c.n_heads = 10;
+  c.n_kv_heads = 10;
+  c.head_dim = 128;
+  c.mla_kv_rank = 512;
+  c.mla_rope_dim = 64;
+  c.mla_qk_nope_dim = 128;
+  c.n_experts = 64;
+  c.top_k = 6;
+  c.expert_ffn = 896;
+  c.n_shared_experts = 2;
+  c.shared_expert_ffn = 896;
+  c.n_dense_layers = 1;
+  c.dense_ffn = 6848;
+  c.vision = siglip_400m();
+  c.validate();
+  return c;
+}
+
+ModelConfig deepseek_vl2_small() {
+  ModelConfig c;
+  c.name = "DeepSeek-VL2-Small";
+  c.modality = Modality::kTextImage;
+  c.n_layers = 27;
+  c.hidden = 2048;
+  c.vocab = 102400;
+  c.attention = AttentionKind::kMLA;
+  c.n_heads = 16;
+  c.n_kv_heads = 16;
+  c.head_dim = 128;
+  c.mla_kv_rank = 512;
+  c.mla_rope_dim = 64;
+  c.mla_qk_nope_dim = 128;
+  c.n_experts = 64;
+  c.top_k = 6;
+  c.expert_ffn = 1408;
+  c.n_shared_experts = 2;
+  c.shared_expert_ffn = 1408;
+  c.n_dense_layers = 1;
+  c.dense_ffn = 10944;
+  c.vision = siglip_400m();
+  c.validate();
+  return c;
+}
+
+ModelConfig deepseek_vl2() {
+  ModelConfig c;
+  c.name = "DeepSeek-VL2";
+  c.modality = Modality::kTextImage;
+  c.n_layers = 30;
+  c.hidden = 2560;
+  c.vocab = 102400;
+  c.attention = AttentionKind::kMLA;
+  c.n_heads = 20;
+  c.n_kv_heads = 20;
+  c.head_dim = 128;
+  c.mla_kv_rank = 512;
+  c.mla_rope_dim = 64;
+  c.mla_qk_nope_dim = 128;
+  c.n_experts = 72;
+  c.top_k = 6;
+  c.expert_ffn = 1536;
+  c.n_shared_experts = 2;
+  c.shared_expert_ffn = 1536;
+  c.n_dense_layers = 1;
+  c.dense_ffn = 12288;
+  c.vision = siglip_400m();
+  c.validate();
+  return c;
+}
+
+ModelConfig molmoe_1b() {
+  // MolmoE-1B wraps the OLMoE-1B-7B backbone with a vision tower; its
+  // router was trained without the aux balance loss, which is exactly the
+  // skew the paper's Fig. 15 visualizes.
+  ModelConfig c = olmoe_1b_7b();
+  c.name = "MolmoE-1B";
+  c.modality = Modality::kTextImage;
+  c.vision = siglip_400m();
+  c.validate();
+  return c;
+}
+
+ModelConfig llama4_scout_17b_16e() {
+  ModelConfig c;
+  c.name = "Llama-4-Scout-17B-16E";
+  c.n_layers = 48;
+  c.hidden = 5120;
+  c.vocab = 202048;
+  c.attention = AttentionKind::kGQA;
+  c.n_heads = 40;
+  c.n_kv_heads = 8;
+  c.head_dim = 128;
+  c.n_experts = 16;
+  c.top_k = 1;
+  c.expert_ffn = 8192;
+  c.n_shared_experts = 1;
+  c.shared_expert_ffn = 8192;
+  c.validate();
+  return c;
+}
+
+ModelConfig deepseek_v3() {
+  // Frontier-scale config (beyond Table 1; the paper's intro cites the
+  // family): 671B total / 37B active, 256 experts top-8 + 1 shared, MLA
+  // with query LoRA, first 3 layers dense.
+  ModelConfig c;
+  c.name = "DeepSeek-V3";
+  c.n_layers = 61;
+  c.hidden = 7168;
+  c.vocab = 129280;
+  c.attention = AttentionKind::kMLA;
+  c.n_heads = 128;
+  c.n_kv_heads = 128;
+  c.head_dim = 128;
+  c.mla_kv_rank = 512;
+  c.mla_rope_dim = 64;
+  c.mla_qk_nope_dim = 128;
+  c.mla_q_rank = 1536;
+  c.n_experts = 256;
+  c.top_k = 8;
+  c.expert_ffn = 2048;
+  c.n_shared_experts = 1;
+  c.shared_expert_ffn = 2048;
+  c.n_dense_layers = 3;
+  c.dense_ffn = 18432;
+  c.validate();
+  return c;
+}
+
+ModelConfig kimi_k2() {
+  // Kimi K2 (cited in the paper's intro): ~1.04T total / ~32B active,
+  // 384 experts top-8 + 1 shared on the DeepSeek-V3 MLA backbone.
+  ModelConfig c = deepseek_v3();
+  c.name = "Kimi-K2";
+  c.n_experts = 384;
+  c.n_heads = 64;
+  c.n_kv_heads = 64;
+  c.vocab = 163840;
+  c.n_dense_layers = 1;
+  c.validate();
+  return c;
+}
+
+namespace {
+ModelConfig qwen3_dense(const std::string& name, int layers, int hidden,
+                        int ffn, int heads, int kv_heads, bool tied) {
+  ModelConfig c;
+  c.name = name;
+  c.n_layers = layers;
+  c.hidden = hidden;
+  c.vocab = 151936;
+  c.tied_embeddings = tied;
+  c.attention = AttentionKind::kGQA;
+  c.n_heads = heads;
+  c.n_kv_heads = kv_heads;
+  c.head_dim = 128;
+  c.dense_ffn = ffn;
+  c.validate();
+  return c;
+}
+}  // namespace
+
+ModelConfig qwen3_0_6b() {
+  return qwen3_dense("Qwen3-0.6B", 28, 1024, 3072, 16, 8, /*tied=*/true);
+}
+
+ModelConfig qwen3_1_7b() {
+  return qwen3_dense("Qwen3-1.7B", 28, 2048, 6144, 16, 8, /*tied=*/true);
+}
+
+ModelConfig qwen3_4b() {
+  return qwen3_dense("Qwen3-4B", 36, 2560, 9728, 32, 8, /*tied=*/true);
+}
+
+ModelConfig qwen3_8b() {
+  return qwen3_dense("Qwen3-8B", 36, 4096, 12288, 32, 8, /*tied=*/false);
+}
+
+std::vector<ModelConfig> table1_models() {
+  return {mixtral_8x7b(),     qwen15_moe_a27b(),    qwen3_30b_a3b(),
+          deepseek_v2_lite(), phi35_moe(),          olmoe_1b_7b(),
+          deepseek_vl2_tiny(), deepseek_vl2_small(), deepseek_vl2()};
+}
+
+std::vector<ModelConfig> llm_models() {
+  return {mixtral_8x7b(),     qwen15_moe_a27b(), qwen3_30b_a3b(),
+          deepseek_v2_lite(), phi35_moe(),       olmoe_1b_7b()};
+}
+
+std::vector<ModelConfig> vlm_models() {
+  return {deepseek_vl2_tiny(), deepseek_vl2_small(), deepseek_vl2()};
+}
+
+std::vector<ModelConfig> all_models() {
+  auto v = table1_models();
+  v.push_back(molmoe_1b());
+  v.push_back(llama4_scout_17b_16e());
+  v.push_back(deepseek_v3());
+  v.push_back(kimi_k2());
+  v.push_back(qwen3_0_6b());
+  v.push_back(qwen3_1_7b());
+  v.push_back(qwen3_4b());
+  v.push_back(qwen3_8b());
+  return v;
+}
+
+ModelConfig model_by_name(const std::string& name) {
+  const std::string want = to_lower(name);
+  for (const auto& m : all_models()) {
+    if (to_lower(m.name) == want) return m;
+  }
+  throw ConfigError("unknown model name: " + name);
+}
+
+}  // namespace mib::models

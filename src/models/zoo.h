@@ -1,0 +1,58 @@
+// The model zoo: every architecture the paper evaluates.
+//
+// Configurations follow the released model configs (see DESIGN.md for the
+// documented Table-1 discrepancies); the DeepSeek-VL2 family is calibrated
+// to the paper's total/active parameter budgets because the full configs are
+// not public. Each factory's comment records the published total/active
+// counts it is validated against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/config.h"
+
+namespace mib::models {
+
+// --- Table 1 MoE LLMs ---
+ModelConfig mixtral_8x7b();        ///< 46.7B total / 12.9B active
+ModelConfig qwen15_moe_a27b();     ///< 14.3B / 2.7B
+ModelConfig qwen3_30b_a3b();       ///< 30.5B / 3.3B
+ModelConfig deepseek_v2_lite();    ///< 15.7B / 2.4B
+ModelConfig phi35_moe();           ///< 41.9B / 6.6B
+ModelConfig olmoe_1b_7b();         ///< 6.9B / 1.3B
+
+// --- Table 1 VLM MoEs ---
+ModelConfig deepseek_vl2_tiny();   ///< ~3B / ~1.0B
+ModelConfig deepseek_vl2_small();  ///< ~16B / ~2.8B
+ModelConfig deepseek_vl2();        ///< ~27B / ~4.5B
+
+// --- §8.3 activation-frequency study ---
+ModelConfig molmoe_1b();           ///< OLMoE-based VLM, 7.2B / 1.3B
+
+// --- §7.3 hardware comparison ---
+ModelConfig llama4_scout_17b_16e();  ///< ~109B / 17B
+
+// --- frontier-scale extensions (paper intro cites the families) ---
+ModelConfig deepseek_v3();  ///< 671B / 37B
+ModelConfig kimi_k2();      ///< ~1.04T / ~32B
+
+// --- §6.3 speculative-decoding draft models (dense Qwen3) ---
+ModelConfig qwen3_0_6b();
+ModelConfig qwen3_1_7b();
+ModelConfig qwen3_4b();
+ModelConfig qwen3_8b();
+
+/// The nine models of the paper's Table 1, in table order.
+std::vector<ModelConfig> table1_models();
+/// The six text MoE LLMs used throughout §4–§8.
+std::vector<ModelConfig> llm_models();
+/// The DeepSeek-VL2 family.
+std::vector<ModelConfig> vlm_models();
+/// Everything in the zoo.
+std::vector<ModelConfig> all_models();
+
+/// Case-insensitive lookup by model name; throws ConfigError if unknown.
+ModelConfig model_by_name(const std::string& name);
+
+}  // namespace mib::models

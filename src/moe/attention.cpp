@@ -1,0 +1,196 @@
+#include "moe/attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mib::moe {
+
+void AttentionConfig::validate() const {
+  MIB_ENSURE(hidden > 0, "attention hidden must be positive");
+  MIB_ENSURE(n_heads > 0, "n_heads must be positive");
+  MIB_ENSURE(n_kv_heads > 0 && n_kv_heads <= n_heads,
+             "n_kv_heads must be in [1, n_heads]");
+  MIB_ENSURE(n_heads % n_kv_heads == 0,
+             "n_heads must be divisible by n_kv_heads");
+  MIB_ENSURE(head_dim > 0 && head_dim % 2 == 0,
+             "head_dim must be positive and even (RoPE pairs)");
+  MIB_ENSURE(rope_theta > 0, "rope_theta must be positive");
+}
+
+KvState::KvState(const AttentionConfig& cfg) : kv_dim_(cfg.kv_dim()) {
+  cfg.validate();
+}
+
+void KvState::clear() {
+  tokens_ = 0;
+  keys_.clear();
+  values_.clear();
+}
+
+void KvState::append(std::span<const float> k, std::span<const float> v) {
+  MIB_ENSURE(kv_dim_ > 0, "KvState not initialized");
+  MIB_ENSURE(k.size() == static_cast<std::size_t>(kv_dim_) &&
+                 v.size() == static_cast<std::size_t>(kv_dim_),
+             "KV row size mismatch");
+  keys_.insert(keys_.end(), k.begin(), k.end());
+  values_.insert(values_.end(), v.begin(), v.end());
+  ++tokens_;
+}
+
+void KvState::truncate(int tokens) {
+  MIB_ENSURE(tokens >= 0 && tokens <= tokens_,
+             "cannot truncate to " << tokens << " of " << tokens_);
+  tokens_ = tokens;
+  keys_.resize(static_cast<std::size_t>(tokens) * kv_dim_);
+  values_.resize(static_cast<std::size_t>(tokens) * kv_dim_);
+}
+
+std::span<const float> KvState::key(int pos) const {
+  MIB_ENSURE(pos >= 0 && pos < tokens_, "KV position out of range");
+  return {keys_.data() + static_cast<std::size_t>(pos) * kv_dim_,
+          static_cast<std::size_t>(kv_dim_)};
+}
+
+std::span<const float> KvState::value(int pos) const {
+  MIB_ENSURE(pos >= 0 && pos < tokens_, "KV position out of range");
+  return {values_.data() + static_cast<std::size_t>(pos) * kv_dim_,
+          static_cast<std::size_t>(kv_dim_)};
+}
+
+Attention::Attention(AttentionConfig cfg, Rng& rng) : cfg_(cfg) {
+  cfg_.validate();
+  const auto h = static_cast<std::size_t>(cfg_.hidden);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(cfg_.hidden));
+  wq_ = Tensor::randn({static_cast<std::size_t>(cfg_.q_dim()), h}, rng,
+                      scale);
+  wk_ = Tensor::randn({static_cast<std::size_t>(cfg_.kv_dim()), h}, rng,
+                      scale);
+  wv_ = Tensor::randn({static_cast<std::size_t>(cfg_.kv_dim()), h}, rng,
+                      scale);
+  wo_ = Tensor::randn({h, static_cast<std::size_t>(cfg_.q_dim())}, rng,
+                      1.0f / std::sqrt(static_cast<float>(cfg_.q_dim())));
+}
+
+void Attention::rope(std::span<float> head_row, int pos) const {
+  const int d = cfg_.head_dim;
+  for (int i = 0; i < d / 2; ++i) {
+    const double freq =
+        1.0 / std::pow(cfg_.rope_theta, 2.0 * i / static_cast<double>(d));
+    const double angle = pos * freq;
+    const float cs = static_cast<float>(std::cos(angle));
+    const float sn = static_cast<float>(std::sin(angle));
+    const float a = head_row[2 * i];
+    const float b = head_row[2 * i + 1];
+    head_row[2 * i] = a * cs - b * sn;
+    head_row[2 * i + 1] = a * sn + b * cs;
+  }
+}
+
+Tensor Attention::forward(const Tensor& x, KvState& kv, int start_pos) const {
+  MIB_ENSURE(x.rank() == 2 &&
+                 x.dim(1) == static_cast<std::size_t>(cfg_.hidden),
+             "attention input must be [tokens, hidden]");
+  MIB_ENSURE(start_pos == kv.tokens(),
+             "start_pos " << start_pos << " must equal cached tokens "
+                          << kv.tokens());
+  const std::size_t tokens = x.dim(0);
+  const int d = cfg_.head_dim;
+  const int group = cfg_.n_heads / cfg_.n_kv_heads;
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+
+  // Projections for the new tokens.
+  Tensor q, k, v;
+  matmul(x, wq_, q, /*b_transposed=*/true);  // [tokens, q_dim]
+  matmul(x, wk_, k, /*b_transposed=*/true);  // [tokens, kv_dim]
+  matmul(x, wv_, v, /*b_transposed=*/true);
+
+  // RoPE on Q and K, then append K/V to the cache.
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const int pos = start_pos + static_cast<int>(t);
+    auto qrow = q.row(t);
+    for (int hh = 0; hh < cfg_.n_heads; ++hh) {
+      rope(qrow.subspan(static_cast<std::size_t>(hh) * d,
+                        static_cast<std::size_t>(d)),
+           pos);
+    }
+    auto krow = k.row(t);
+    for (int hh = 0; hh < cfg_.n_kv_heads; ++hh) {
+      rope(krow.subspan(static_cast<std::size_t>(hh) * d,
+                        static_cast<std::size_t>(d)),
+           pos);
+    }
+    kv.append(krow, v.row(t));
+  }
+
+  // Causal attention: token t attends to cache positions [0, start_pos+t].
+  Tensor attn_out({tokens, static_cast<std::size_t>(cfg_.q_dim())});
+  std::vector<float> scores;
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const int ctx = start_pos + static_cast<int>(t) + 1;
+    scores.resize(ctx);
+    auto qrow = q.row(t);
+    auto orow = attn_out.row(t);
+    for (int hh = 0; hh < cfg_.n_heads; ++hh) {
+      const int kv_head = hh / group;
+      const auto qh = qrow.subspan(static_cast<std::size_t>(hh) * d,
+                                   static_cast<std::size_t>(d));
+      // scores = q . k / sqrt(d)
+      float mx = -1e30f;
+      for (int p = 0; p < ctx; ++p) {
+        const auto kh = kv.key(p).subspan(
+            static_cast<std::size_t>(kv_head) * d,
+            static_cast<std::size_t>(d));
+        float s = 0.0f;
+        for (int i = 0; i < d; ++i) s += qh[i] * kh[i];
+        scores[p] = s * inv_sqrt_d;
+        mx = std::max(mx, scores[p]);
+      }
+      float denom = 0.0f;
+      for (int p = 0; p < ctx; ++p) {
+        scores[p] = std::exp(scores[p] - mx);
+        denom += scores[p];
+      }
+      auto oh = orow.subspan(static_cast<std::size_t>(hh) * d,
+                             static_cast<std::size_t>(d));
+      std::fill(oh.begin(), oh.end(), 0.0f);
+      for (int p = 0; p < ctx; ++p) {
+        const float w = scores[p] / denom;
+        const auto vh = kv.value(p).subspan(
+            static_cast<std::size_t>(kv_head) * d,
+            static_cast<std::size_t>(d));
+        for (int i = 0; i < d; ++i) oh[i] += w * vh[i];
+      }
+    }
+  }
+
+  Tensor out;
+  matmul(attn_out, wo_, out, /*b_transposed=*/true);  // [tokens, hidden]
+  return out;
+}
+
+std::size_t Attention::param_count() const {
+  return wq_.size() + wk_.size() + wv_.size() + wo_.size();
+}
+
+RmsNorm::RmsNorm(int dim, float eps) : w_(dim, 1.0f), eps_(eps) {
+  MIB_ENSURE(dim > 0, "RmsNorm dim must be positive");
+}
+
+void RmsNorm::apply(Tensor& x) const {
+  MIB_ENSURE(x.rank() == 2 && x.dim(1) == w_.size(),
+             "RmsNorm dim mismatch");
+  for (std::size_t t = 0; t < x.dim(0); ++t) {
+    auto row = x.row(t);
+    double ss = 0.0;
+    for (float v : row) ss += static_cast<double>(v) * v;
+    const float inv_rms = static_cast<float>(
+        1.0 / std::sqrt(ss / static_cast<double>(row.size()) + eps_));
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      row[i] = row[i] * inv_rms * w_[i];
+    }
+  }
+}
+
+}  // namespace mib::moe

@@ -1,0 +1,102 @@
+// Functional multi-head self-attention with RoPE and an incremental KV
+// cache — the attention half of the executable MoE transformer
+// (moe/transformer.h). Supports MHA and GQA (n_kv_heads <= n_heads).
+//
+// This is real numerics at small scale: tests verify causality, the
+// equivalence of incremental decoding with full-sequence recomputation,
+// and GQA head-group sharing.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/tensor.h"
+
+namespace mib::moe {
+
+struct AttentionConfig {
+  int hidden = 0;
+  int n_heads = 0;
+  int n_kv_heads = 0;
+  int head_dim = 0;
+  float rope_theta = 10000.0f;
+
+  void validate() const;
+  int q_dim() const { return n_heads * head_dim; }
+  int kv_dim() const { return n_kv_heads * head_dim; }
+};
+
+/// Per-sequence K/V storage for one attention layer.
+class KvState {
+ public:
+  KvState() = default;
+  explicit KvState(const AttentionConfig& cfg);
+
+  int tokens() const { return tokens_; }
+  void clear();
+
+  /// Append one position's K/V rows (called by Attention).
+  void append(std::span<const float> k, std::span<const float> v);
+
+  std::span<const float> key(int pos) const;
+  std::span<const float> value(int pos) const;
+
+  /// Bytes held by the cache (fp32 functional storage).
+  std::size_t bytes() const {
+    return (keys_.size() + values_.size()) * sizeof(float);
+  }
+
+  /// Roll the cache back to `tokens` positions (speculative-decoding
+  /// rejection discards the KV of rejected tokens).
+  void truncate(int tokens);
+
+ private:
+  int kv_dim_ = 0;
+  int tokens_ = 0;
+  std::vector<float> keys_;    // [tokens, kv_dim]
+  std::vector<float> values_;  // [tokens, kv_dim]
+};
+
+class Attention {
+ public:
+  Attention(AttentionConfig cfg, Rng& rng);
+
+  const AttentionConfig& config() const { return cfg_; }
+
+  /// Causal forward over `x` [tokens, hidden] starting at absolute
+  /// position `start_pos`; K/V of the new tokens are appended to `kv`.
+  /// Returns [tokens, hidden]. Incremental decode passes one token at a
+  /// time with the running cache.
+  Tensor forward(const Tensor& x, KvState& kv, int start_pos) const;
+
+  std::size_t param_count() const;
+
+  Tensor& mutable_wq() { return wq_; }
+
+ private:
+  /// Apply rotary embedding to one head-sized row at position pos.
+  void rope(std::span<float> head_row, int pos) const;
+
+  AttentionConfig cfg_;
+  Tensor wq_;  // [q_dim, hidden]
+  Tensor wk_;  // [kv_dim, hidden]
+  Tensor wv_;  // [kv_dim, hidden]
+  Tensor wo_;  // [hidden, q_dim]
+};
+
+/// RMSNorm: y = x / rms(x) * weight.
+class RmsNorm {
+ public:
+  explicit RmsNorm(int dim, float eps = 1e-5f);
+
+  /// Normalize each row of x [tokens, dim] in place.
+  void apply(Tensor& x) const;
+
+  std::span<float> weight() { return {w_.data(), w_.size()}; }
+
+ private:
+  std::vector<float> w_;
+  float eps_;
+};
+
+}  // namespace mib::moe

@@ -1,0 +1,134 @@
+#include "moe/expert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mib::moe {
+
+Expert::Expert(int hidden, int ffn, Rng& rng) : hidden_(hidden), ffn_(ffn) {
+  MIB_ENSURE(hidden > 0 && ffn > 0, "expert dims must be positive");
+  const auto h = static_cast<std::size_t>(hidden);
+  const auto f = static_cast<std::size_t>(ffn);
+  const float in_scale = 1.0f / std::sqrt(static_cast<float>(hidden));
+  const float mid_scale = 1.0f / std::sqrt(static_cast<float>(ffn));
+  w_gate_ = Tensor::randn({f, h}, rng, in_scale);
+  w_up_ = Tensor::randn({f, h}, rng, in_scale);
+  w_down_ = Tensor::randn({h, f}, rng, mid_scale);
+}
+
+void Expert::forward(std::span<const float> x, std::span<float> y) const {
+  MIB_ENSURE(x.size() == static_cast<std::size_t>(hidden_),
+             "expert input size mismatch");
+  MIB_ENSURE(y.size() == static_cast<std::size_t>(hidden_),
+             "expert output size mismatch");
+  const auto f = static_cast<std::size_t>(ffn_);
+  const auto h = static_cast<std::size_t>(hidden_);
+
+  // act[c] = silu(gate_c · x) * (up_c · x)
+  std::vector<float> act(f);
+  for (std::size_t c = 0; c < f; ++c) {
+    const float* gr = w_gate_.data() + c * h;
+    const float* ur = w_up_.data() + c * h;
+    float g = 0.0f, u = 0.0f;
+    for (std::size_t j = 0; j < h; ++j) {
+      g += gr[j] * x[j];
+      u += ur[j] * x[j];
+    }
+    const float silu = g / (1.0f + std::exp(-g));
+    act[c] = silu * u;
+  }
+
+  // y = W_down · act
+  for (std::size_t i = 0; i < h; ++i) {
+    const float* dr = w_down_.data() + i * f;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < f; ++c) acc += dr[c] * act[c];
+    y[i] = acc;
+  }
+}
+
+Tensor Expert::forward(const Tensor& x) const {
+  MIB_ENSURE(x.rank() == 2 && x.dim(1) == static_cast<std::size_t>(hidden_),
+             "expert batch input must be [tokens, hidden]");
+  Tensor out({x.dim(0), x.dim(1)});
+  for (std::size_t t = 0; t < x.dim(0); ++t) {
+    forward(x.row(t), out.row(t));
+  }
+  return out;
+}
+
+quant::QuantError Expert::quantize_weights(DType dt, quant::Granularity g) {
+  quant::QuantError worst;
+  for (Tensor* w : {&w_gate_, &w_up_, &w_down_}) {
+    const auto err = quant::fake_quantize_tensor(*w, dt, g);
+    if (err.rel_err > worst.rel_err) worst = err;
+  }
+  return worst;
+}
+
+void Expert::keep_channels(const std::vector<int>& channels) {
+  MIB_ENSURE(!channels.empty(), "must keep at least one channel");
+  MIB_ENSURE(std::is_sorted(channels.begin(), channels.end()),
+             "channel ids must be sorted");
+  MIB_ENSURE(std::adjacent_find(channels.begin(), channels.end()) ==
+                 channels.end(),
+             "channel ids must be unique");
+  MIB_ENSURE(channels.front() >= 0 && channels.back() < ffn_,
+             "channel id out of range");
+
+  const auto h = static_cast<std::size_t>(hidden_);
+  const auto new_f = channels.size();
+
+  Tensor gate({new_f, h});
+  Tensor up({new_f, h});
+  for (std::size_t c = 0; c < new_f; ++c) {
+    const auto src = static_cast<std::size_t>(channels[c]);
+    std::copy_n(w_gate_.data() + src * h, h, gate.data() + c * h);
+    std::copy_n(w_up_.data() + src * h, h, up.data() + c * h);
+  }
+
+  Tensor down({h, new_f});
+  for (std::size_t i = 0; i < h; ++i) {
+    const float* src_row = w_down_.data() + i * static_cast<std::size_t>(ffn_);
+    float* dst_row = down.data() + i * new_f;
+    for (std::size_t c = 0; c < new_f; ++c) {
+      dst_row[c] = src_row[channels[c]];
+    }
+  }
+
+  w_gate_ = std::move(gate);
+  w_up_ = std::move(up);
+  w_down_ = std::move(down);
+  ffn_ = static_cast<int>(new_f);
+}
+
+std::vector<float> Expert::channel_importance() const {
+  const auto f = static_cast<std::size_t>(ffn_);
+  const auto h = static_cast<std::size_t>(hidden_);
+  std::vector<float> score(f, 0.0f);
+  for (std::size_t c = 0; c < f; ++c) {
+    double g = 0.0, u = 0.0;
+    const float* gr = w_gate_.data() + c * h;
+    const float* ur = w_up_.data() + c * h;
+    for (std::size_t j = 0; j < h; ++j) {
+      g += static_cast<double>(gr[j]) * gr[j];
+      u += static_cast<double>(ur[j]) * ur[j];
+    }
+    double d = 0.0;
+    for (std::size_t i = 0; i < h; ++i) {
+      const float v = w_down_.data()[i * f + c];
+      d += static_cast<double>(v) * v;
+    }
+    score[c] = static_cast<float>(std::sqrt(g) + std::sqrt(u) + std::sqrt(d));
+  }
+  return score;
+}
+
+std::size_t Expert::param_count() const {
+  return 3u * static_cast<std::size_t>(hidden_) *
+         static_cast<std::size_t>(ffn_);
+}
+
+}  // namespace mib::moe

@@ -1,0 +1,62 @@
+// A single SwiGLU expert: y = W_down( silu(W_gate·x) ⊙ (W_up·x) ).
+//
+// Weights are stored row-major as [ffn, hidden] (gate/up) and [hidden, ffn]
+// (down) so per-token forward passes are contiguous dot products. The expert
+// supports weight-only fake quantization and intra-expert channel pruning —
+// the two transforms the paper benchmarks in §6.1/§6.2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/dtype.h"
+#include "common/rng.h"
+#include "common/tensor.h"
+#include "quant/quantize.h"
+
+namespace mib::moe {
+
+class Expert {
+ public:
+  /// Random init with 1/sqrt(fan_in) scaling.
+  Expert(int hidden, int ffn, Rng& rng);
+
+  int hidden() const { return hidden_; }
+  int ffn() const { return ffn_; }
+
+  /// Forward one token: y[hidden] = expert(x[hidden]). `y` is overwritten.
+  void forward(std::span<const float> x, std::span<float> y) const;
+
+  /// Forward a batch [tokens, hidden] -> [tokens, hidden].
+  Tensor forward(const Tensor& x) const;
+
+  /// Fake-quantize all three weight matrices; returns worst-case relative
+  /// error across them.
+  quant::QuantError quantize_weights(DType dt, quant::Granularity g);
+
+  /// Keep only the given FFN channels (sorted unique indices into [0, ffn)).
+  /// This is intra-expert pruning's mechanical step.
+  void keep_channels(const std::vector<int>& channels);
+
+  /// Per-channel importance: ||gate_row|| + ||up_row|| + ||down_col||.
+  std::vector<float> channel_importance() const;
+
+  /// Parameter count (3 * hidden * ffn).
+  std::size_t param_count() const;
+
+  const Tensor& w_gate() const { return w_gate_; }
+  const Tensor& w_up() const { return w_up_; }
+  const Tensor& w_down() const { return w_down_; }
+  Tensor& mutable_w_gate() { return w_gate_; }
+  Tensor& mutable_w_up() { return w_up_; }
+  Tensor& mutable_w_down() { return w_down_; }
+
+ private:
+  int hidden_;
+  int ffn_;
+  Tensor w_gate_;  // [ffn, hidden]
+  Tensor w_up_;    // [ffn, hidden]
+  Tensor w_down_;  // [hidden, ffn]
+};
+
+}  // namespace mib::moe

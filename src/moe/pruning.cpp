@@ -1,0 +1,99 @@
+#include "moe/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mib::moe {
+
+int pruned_expert_count(int n_experts, double ratio) {
+  MIB_ENSURE(ratio > 0.0 && ratio < 1.0, "prune ratio must be in (0,1)");
+  const int removed = static_cast<int>(
+      std::ceil(ratio * static_cast<double>(n_experts)));
+  return std::max(1, n_experts - removed);
+}
+
+int pruned_ffn_dim(int ffn, double ratio) {
+  MIB_ENSURE(ratio > 0.0 && ratio < 1.0, "prune ratio must be in (0,1)");
+  const int kept = static_cast<int>(
+      std::round((1.0 - ratio) * static_cast<double>(ffn)));
+  return std::max(1, kept);
+}
+
+PruneReport inter_expert_prune(MoELayer& layer, double ratio,
+                               ExpertPruneCriterion criterion) {
+  const int before = layer.n_experts();
+  const int after = pruned_expert_count(before, ratio);
+  const int n_remove = before - after;
+  MIB_ENSURE(n_remove >= 1, "ratio " << ratio << " removes no experts");
+
+  std::vector<double> score(before, 0.0);
+  switch (criterion) {
+    case ExpertPruneCriterion::kLeastActivated: {
+      const auto& counts = layer.router().activation_counts();
+      for (int e = 0; e < before; ++e) {
+        score[e] = static_cast<double>(counts[e]);
+      }
+      break;
+    }
+    case ExpertPruneCriterion::kSmallestNorm: {
+      for (int e = 0; e < before; ++e) {
+        const Expert& ex = layer.expert(e);
+        score[e] = frobenius_norm(ex.w_gate()) + frobenius_norm(ex.w_up()) +
+                   frobenius_norm(ex.w_down());
+      }
+      break;
+    }
+    case ExpertPruneCriterion::kHighestIndex: {
+      for (int e = 0; e < before; ++e) score[e] = before - e;
+      break;
+    }
+  }
+
+  // Remove the n_remove lowest-scoring experts.
+  std::vector<int> order(before);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return score[a] < score[b]; });
+  std::vector<int> removed(order.begin(), order.begin() + n_remove);
+  std::sort(removed.begin(), removed.end());
+
+  const int ffn = layer.config().expert_ffn;
+  layer.drop_experts(removed);
+
+  PruneReport r;
+  r.experts_before = before;
+  r.experts_after = layer.n_experts();
+  r.ffn_before = r.ffn_after = ffn;
+  r.removed_experts = std::move(removed);
+  return r;
+}
+
+PruneReport intra_expert_prune(MoELayer& layer, double ratio) {
+  const int ffn_before = layer.config().expert_ffn;
+  const int keep = pruned_ffn_dim(ffn_before, ratio);
+
+  for (int e = 0; e < layer.n_experts(); ++e) {
+    Expert& ex = layer.expert(e);
+    const auto importance = ex.channel_importance();
+    std::vector<int> order(importance.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return importance[a] > importance[b];
+    });
+    std::vector<int> channels(order.begin(), order.begin() + keep);
+    std::sort(channels.begin(), channels.end());
+    ex.keep_channels(channels);
+  }
+  layer.sync_ffn_from_experts();
+
+  PruneReport r;
+  r.experts_before = r.experts_after = layer.n_experts();
+  r.ffn_before = ffn_before;
+  r.ffn_after = keep;
+  return r;
+}
+
+}  // namespace mib::moe

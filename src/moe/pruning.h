@@ -1,0 +1,50 @@
+// MoE pruning transforms (paper §6.2).
+//
+//   * Inter-expert pruning removes whole experts and their router rows; the
+//     number of *active* experts per token is unchanged (top_k clamps only
+//     when fewer experts remain than top_k).
+//   * Intra-expert pruning shrinks each expert's FFN dimension, keeping the
+//     most important channels by a magnitude criterion.
+//
+// Both operate on the functional MoELayer (so their numerics are testable)
+// and both report the resulting geometry so the engine's cost model can
+// price the pruned network.
+#pragma once
+
+#include <vector>
+
+#include "moe/moe_layer.h"
+
+namespace mib::moe {
+
+/// Criterion for choosing which experts to remove.
+enum class ExpertPruneCriterion {
+  kLeastActivated,  ///< fewest router selections (needs activation counts)
+  kSmallestNorm,    ///< smallest total weight norm
+  kHighestIndex,    ///< deterministic tail-drop (for tests)
+};
+
+/// Result of a pruning pass.
+struct PruneReport {
+  int experts_before = 0;
+  int experts_after = 0;
+  int ffn_before = 0;
+  int ffn_after = 0;
+  std::vector<int> removed_experts;  ///< inter-expert only
+};
+
+/// Remove ceil(ratio * n_experts) experts. ratio in (0, 1).
+PruneReport inter_expert_prune(MoELayer& layer, double ratio,
+                               ExpertPruneCriterion criterion);
+
+/// Shrink every expert's FFN dim to round((1 - ratio) * ffn) channels,
+/// keeping the highest-importance channels per expert.
+PruneReport intra_expert_prune(MoELayer& layer, double ratio);
+
+/// Geometry math shared with the cost model: how many experts / channels
+/// remain after a given ratio (exposed so benches can price pruned configs
+/// without building functional layers).
+int pruned_expert_count(int n_experts, double ratio);
+int pruned_ffn_dim(int ffn, double ratio);
+
+}  // namespace mib::moe

@@ -1,0 +1,144 @@
+#include "moe/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mib::moe {
+
+void RouterConfig::validate() const {
+  MIB_ENSURE(hidden > 0, "router hidden must be positive");
+  MIB_ENSURE(n_experts > 0, "router needs experts");
+  MIB_ENSURE(top_k >= 1 && top_k <= n_experts,
+             "top_k " << top_k << " out of [1, " << n_experts << "]");
+}
+
+Router::Router(RouterConfig cfg, Rng& rng) : cfg_(cfg) {
+  cfg_.validate();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(cfg_.hidden));
+  gate_ = Tensor::randn({static_cast<std::size_t>(cfg_.n_experts),
+                         static_cast<std::size_t>(cfg_.hidden)},
+                        rng, scale);
+  counts_.assign(cfg_.n_experts, 0);
+}
+
+Router::Router(RouterConfig cfg, Tensor gate)
+    : cfg_(cfg), gate_(std::move(gate)) {
+  cfg_.validate();
+  MIB_ENSURE(gate_.rank() == 2 &&
+                 gate_.dim(0) == static_cast<std::size_t>(cfg_.n_experts) &&
+                 gate_.dim(1) == static_cast<std::size_t>(cfg_.hidden),
+             "gate shape must be [n_experts, hidden]");
+  counts_.assign(cfg_.n_experts, 0);
+}
+
+void Router::set_logit_prior(std::vector<float> prior) {
+  MIB_ENSURE(prior.empty() ||
+                 prior.size() == static_cast<std::size_t>(cfg_.n_experts),
+             "prior size must match n_experts");
+  prior_ = std::move(prior);
+}
+
+std::vector<TokenRoute> Router::route(const Tensor& x) {
+  MIB_ENSURE(x.rank() == 2 &&
+                 x.dim(1) == static_cast<std::size_t>(cfg_.hidden),
+             "router input must be [tokens, hidden]");
+  const std::size_t tokens = x.dim(0);
+  const std::size_t e = cfg_.n_experts;
+  const std::size_t k = cfg_.top_k;
+
+  Tensor logits;
+  matmul(x, gate_, logits, /*b_transposed=*/true);  // [tokens, n_experts]
+  if (!prior_.empty()) {
+    for (std::size_t t = 0; t < tokens; ++t) {
+      auto row = logits.row(t);
+      for (std::size_t j = 0; j < e; ++j) row[j] += prior_[j];
+    }
+  }
+
+  std::vector<TokenRoute> routes(tokens);
+  std::vector<int> idx(e);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    auto row = logits.row(t);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                      [&](int a, int b) {
+                        if (row[a] != row[b]) return row[a] > row[b];
+                        return a < b;  // deterministic tie-break
+                      });
+
+    TokenRoute& r = routes[t];
+    r.experts.assign(idx.begin(), idx.begin() + k);
+    r.weights.resize(k);
+
+    if (cfg_.order == ScoreOrder::kSoftmaxThenTopK) {
+      // Global softmax, then read off the selected probabilities.
+      const float mx = *std::max_element(row.begin(), row.end());
+      float denom = 0.0f;
+      for (float v : row) denom += std::exp(v - mx);
+      for (std::size_t j = 0; j < k; ++j) {
+        r.weights[j] = std::exp(row[r.experts[j]] - mx) / denom;
+      }
+    } else {
+      // Softmax over only the selected logits.
+      const float mx = row[r.experts[0]];
+      float denom = 0.0f;
+      for (std::size_t j = 0; j < k; ++j) {
+        r.weights[j] = std::exp(row[r.experts[j]] - mx);
+        denom += r.weights[j];
+      }
+      for (std::size_t j = 0; j < k; ++j) r.weights[j] /= denom;
+    }
+
+    if (cfg_.renormalize && cfg_.order == ScoreOrder::kSoftmaxThenTopK) {
+      float s = 0.0f;
+      for (float w : r.weights) s += w;
+      if (s > 0.0f) {
+        for (float& w : r.weights) w /= s;
+      }
+    }
+
+    for (int eid : r.experts) ++counts_[eid];
+  }
+  return routes;
+}
+
+void Router::reset_counts() { counts_.assign(counts_.size(), 0); }
+
+void Router::drop_experts(const std::vector<int>& expert_ids) {
+  MIB_ENSURE(!expert_ids.empty(), "drop_experts needs at least one id");
+  MIB_ENSURE(std::is_sorted(expert_ids.begin(), expert_ids.end()),
+             "expert ids must be sorted");
+  MIB_ENSURE(std::adjacent_find(expert_ids.begin(), expert_ids.end()) ==
+                 expert_ids.end(),
+             "expert ids must be unique");
+  MIB_ENSURE(expert_ids.front() >= 0 && expert_ids.back() < cfg_.n_experts,
+             "expert id out of range");
+  const int remaining = cfg_.n_experts - static_cast<int>(expert_ids.size());
+  MIB_ENSURE(remaining >= 1, "cannot drop all experts");
+
+  Tensor new_gate({static_cast<std::size_t>(remaining),
+                   static_cast<std::size_t>(cfg_.hidden)});
+  std::vector<float> new_prior;
+  std::size_t out = 0;
+  std::size_t drop_pos = 0;
+  for (int eid = 0; eid < cfg_.n_experts; ++eid) {
+    if (drop_pos < expert_ids.size() && expert_ids[drop_pos] == eid) {
+      ++drop_pos;
+      continue;
+    }
+    auto src = gate_.row(eid);
+    std::copy(src.begin(), src.end(), new_gate.row(out).begin());
+    if (!prior_.empty()) new_prior.push_back(prior_[eid]);
+    ++out;
+  }
+  gate_ = std::move(new_gate);
+  prior_ = std::move(new_prior);
+  cfg_.n_experts = remaining;
+  cfg_.top_k = std::min(cfg_.top_k, remaining);
+  counts_.assign(remaining, 0);
+}
+
+}  // namespace mib::moe

@@ -1,0 +1,39 @@
+#include "parallel/pipeline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mib::parallel {
+
+double pipeline_fill_drain_time(double total_work, int stages,
+                                int microbatches) {
+  MIB_ENSURE(total_work >= 0, "negative work");
+  MIB_ENSURE(stages >= 1 && microbatches >= 1, "invalid pipeline shape");
+  if (stages == 1) return total_work;
+  // Per-microbatch per-stage time; stages are assumed balanced.
+  const double t_stage =
+      total_work / (static_cast<double>(stages) * microbatches);
+  return (microbatches + stages - 1) * t_stage;
+}
+
+double pipeline_bubble_fraction(int stages, int microbatches) {
+  MIB_ENSURE(stages >= 1 && microbatches >= 1, "invalid pipeline shape");
+  return static_cast<double>(stages - 1) / microbatches;
+}
+
+double pipeline_transfer_time(double bytes_per_microbatch, int stages,
+                              int microbatches, const hw::Interconnect& ic) {
+  MIB_ENSURE(bytes_per_microbatch >= 0, "negative bytes");
+  MIB_ENSURE(stages >= 1 && microbatches >= 1, "invalid pipeline shape");
+  if (stages == 1) return 0.0;
+  const double per_crossing = ic.p2p(bytes_per_microbatch);
+  return per_crossing * (stages - 1) * microbatches;
+}
+
+int choose_microbatches(int batch, int stages) {
+  MIB_ENSURE(batch >= 1 && stages >= 1, "invalid shape");
+  return std::max(1, std::min(batch, 2 * stages));
+}
+
+}  // namespace mib::parallel

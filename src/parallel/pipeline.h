@@ -1,0 +1,33 @@
+// Pipeline-parallel schedule model (GPipe-style fill/drain).
+//
+// Prefill is split into microbatches that stream through the stages; the
+// classic bubble stretches total time by (m + p - 1) / m. Decode keeps a
+// single in-flight batch, so a decode step is the *sum* of stage times plus
+// boundary transfers — which is why the paper's PP curves are flat.
+#pragma once
+
+#include "hw/interconnect.h"
+
+namespace mib::parallel {
+
+/// Wall time of running `total_work` (seconds of single-device-equivalent
+/// compute, i.e. the whole batch through the whole model on one device)
+/// over `stages` pipeline stages with `microbatches` microbatches.
+double pipeline_fill_drain_time(double total_work, int stages,
+                                int microbatches);
+
+/// The pipeline bubble fraction: extra time / ideal time.
+double pipeline_bubble_fraction(int stages, int microbatches);
+
+/// Total activation-transfer time across stage boundaries: each microbatch
+/// crosses (stages - 1) boundaries carrying `bytes_per_microbatch`.
+/// Transfers overlap with compute only partially; we charge them serially
+/// (conservative, matches the paper's poor PP scaling).
+double pipeline_transfer_time(double bytes_per_microbatch, int stages,
+                              int microbatches, const hw::Interconnect& ic);
+
+/// Heuristic microbatch count for a prefill batch (vLLM uses up to
+/// 2 x pp in-flight microbatches; a batch can't split below 1 sequence).
+int choose_microbatches(int batch, int stages);
+
+}  // namespace mib::parallel

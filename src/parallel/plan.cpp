@@ -1,0 +1,63 @@
+#include "parallel/plan.h"
+
+#include "common/error.h"
+
+namespace mib::parallel {
+
+std::string ParallelPlan::label() const {
+  std::string s;
+  if (tp > 1 || (tp == 1 && pp == 1)) s += "TP" + std::to_string(tp);
+  if (pp > 1) {
+    if (!s.empty()) s += "x";
+    s += "PP" + std::to_string(pp);
+  }
+  if (ep) s += "+EP";
+  return s;
+}
+
+void ParallelPlan::validate(const models::ModelConfig& model) const {
+  MIB_ENSURE(tp >= 1 && pp >= 1, "plan degrees must be >= 1");
+  MIB_ENSURE(model.n_layers >= pp,
+             model.name << ": pp " << pp << " exceeds layer count");
+  if (tp > 1 && !ep) {
+    // Tensor slicing needs divisible head counts (vLLM's constraint).
+    MIB_ENSURE(model.n_heads % tp == 0,
+               model.name << ": n_heads not divisible by tp " << tp);
+  }
+  if (ep) {
+    MIB_ENSURE(model.is_moe(), model.name << ": EP requires a MoE model");
+    MIB_ENSURE(tp >= 1, "EP shards experts across the tp group");
+    MIB_ENSURE(model.n_experts % tp == 0,
+               model.name << ": n_experts " << model.n_experts
+                          << " not divisible by EP group " << tp);
+  }
+}
+
+int ParallelPlan::experts_per_device(const models::ModelConfig& model) const {
+  if (!model.is_moe()) return 0;
+  return ep ? model.n_experts / tp : model.n_experts;
+}
+
+ParallelPlan tp_plan(int n) {
+  MIB_ENSURE(n >= 1, "device count must be >= 1");
+  return ParallelPlan{.tp = n, .pp = 1, .ep = false};
+}
+
+ParallelPlan tp_ep_plan(int n) {
+  MIB_ENSURE(n >= 1, "device count must be >= 1");
+  return ParallelPlan{.tp = n, .pp = 1, .ep = n > 1};
+}
+
+ParallelPlan pp_plan(int n) {
+  MIB_ENSURE(n >= 1, "device count must be >= 1");
+  return ParallelPlan{.tp = 1, .pp = n, .ep = false};
+}
+
+ParallelPlan pp_ep_plan(int n) {
+  MIB_ENSURE(n >= 1, "device count must be >= 1");
+  if (n >= 4) return ParallelPlan{.tp = 2, .pp = n / 2, .ep = true};
+  if (n >= 2) return ParallelPlan{.tp = 2, .pp = n / 2, .ep = true};
+  return ParallelPlan{.tp = 1, .pp = 1, .ep = false};
+}
+
+}  // namespace mib::parallel

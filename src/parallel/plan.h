@@ -1,0 +1,46 @@
+// Parallelization plans (paper §7.1).
+//
+// A plan distributes one model replica over tp × pp devices:
+//   * TP  — tensor parallelism: every weight matrix is sliced across the tp
+//           ranks; two allreduces per transformer layer.
+//   * PP  — pipeline parallelism: layers are divided into pp stages.
+//   * EP  — expert parallelism (flag): MoE expert weights are distributed
+//           *whole* across the tp group instead of being tensor-sliced;
+//           token dispatch/combine becomes an all-to-all. Matches vLLM's
+//           --enable-expert-parallel semantics, which the paper benchmarks.
+#pragma once
+
+#include <string>
+
+#include "models/config.h"
+
+namespace mib::parallel {
+
+struct ParallelPlan {
+  int tp = 1;
+  int pp = 1;
+  bool ep = false;
+
+  int devices() const { return tp * pp; }
+
+  /// Human-readable label, e.g. "TP4", "TP2+EP", "TP2xPP2+EP".
+  std::string label() const;
+
+  /// Validate against a model: divisibility of heads/experts/layers.
+  void validate(const models::ModelConfig& model) const;
+
+  /// Experts resident on each device (EP distributes them whole; TP slices
+  /// every expert so each device sees all of them).
+  int experts_per_device(const models::ModelConfig& model) const;
+};
+
+/// The four strategy families of the paper's Fig. 13 instantiated for a
+/// given device count (n >= 1):
+///   TP(n), TP(n)+EP, PP(n), and the hybrid PP(n/2)xTP(2)+EP (for n >= 4;
+///   degenerates to TP+EP below that).
+ParallelPlan tp_plan(int n);
+ParallelPlan tp_ep_plan(int n);
+ParallelPlan pp_plan(int n);
+ParallelPlan pp_ep_plan(int n);
+
+}  // namespace mib::parallel

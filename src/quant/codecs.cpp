@@ -1,0 +1,150 @@
+#include "quant/codecs.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace mib::quant {
+
+namespace {
+
+struct MiniFloatFormat {
+  int ebits;
+  int mbits;
+  int bias;
+  float max_val;
+  bool has_inf;  ///< false => saturating format with a single NaN code
+};
+
+constexpr MiniFloatFormat kFP16{5, 10, 15, kFP16Max, true};
+constexpr MiniFloatFormat kE4M3{4, 3, 7, kFP8E4M3Max, false};
+constexpr MiniFloatFormat kE5M2{5, 2, 15, kFP8E5M2Max, true};
+
+/// Round a float to the nearest value representable in `f` (RNE), handling
+/// subnormals, saturation and infinity semantics.
+float minifloat_roundtrip(float x, const MiniFloatFormat& f) {
+  if (std::isnan(x)) return x;
+  if (std::isinf(x)) {
+    return f.has_inf ? x : std::copysign(f.max_val, x);
+  }
+  if (x == 0.0f) return x;
+
+  const float ax = std::fabs(x);
+  int e = 0;
+  std::frexp(ax, &e);            // ax = m * 2^e with m in [0.5, 1)
+  const int unbiased = e - 1;    // ax = 1.m * 2^unbiased
+  const int emin = 1 - f.bias;   // smallest normal exponent
+
+  // Quantization step of the binade (or the subnormal range).
+  const int step_exp = (unbiased < emin ? emin : unbiased) - f.mbits;
+  const float step = std::ldexp(1.0f, step_exp);
+  // nearbyint honors the default FE_TONEAREST mode => round-to-nearest-even.
+  float q = step * std::nearbyint(ax / step);
+
+  if (q > f.max_val) {
+    q = f.has_inf ? std::numeric_limits<float>::infinity() : f.max_val;
+  }
+  return std::copysign(q, x);
+}
+
+/// Pack a value already on the representable grid into its bit pattern.
+std::uint32_t minifloat_pack(float q, const MiniFloatFormat& f) {
+  const std::uint32_t sign = std::signbit(q) ? 1u : 0u;
+  const std::uint32_t sign_shifted = sign << (f.ebits + f.mbits);
+  const std::uint32_t exp_all_ones = (1u << f.ebits) - 1u;
+
+  if (std::isnan(q)) {
+    // Canonical NaN: all-ones exponent, all-ones mantissa (works for both
+    // IEEE-style and E4M3-style formats).
+    return sign_shifted | (exp_all_ones << f.mbits) | ((1u << f.mbits) - 1u);
+  }
+  if (std::isinf(q)) {
+    return sign_shifted | (exp_all_ones << f.mbits);
+  }
+  const float aq = std::fabs(q);
+  if (aq == 0.0f) return sign_shifted;
+
+  int e = 0;
+  std::frexp(aq, &e);
+  const int unbiased = e - 1;
+  const int emin = 1 - f.bias;
+
+  if (unbiased < emin) {
+    // Subnormal: value = mantissa * 2^(emin - mbits).
+    const auto mant = static_cast<std::uint32_t>(
+        std::nearbyint(std::ldexp(aq, f.mbits - emin)));
+    return sign_shifted | mant;
+  }
+  const auto biased = static_cast<std::uint32_t>(unbiased + f.bias);
+  const float frac = std::ldexp(aq, -unbiased) - 1.0f;  // in [0, 1)
+  const auto mant = static_cast<std::uint32_t>(
+      std::nearbyint(std::ldexp(frac, f.mbits)));
+  return sign_shifted | (biased << f.mbits) | mant;
+}
+
+float minifloat_unpack(std::uint32_t bits, const MiniFloatFormat& f) {
+  const std::uint32_t mant_mask = (1u << f.mbits) - 1u;
+  const std::uint32_t exp_all_ones = (1u << f.ebits) - 1u;
+  const std::uint32_t sign = bits >> (f.ebits + f.mbits);
+  const std::uint32_t biased = (bits >> f.mbits) & exp_all_ones;
+  const std::uint32_t mant = bits & mant_mask;
+  const float s = sign ? -1.0f : 1.0f;
+
+  if (biased == exp_all_ones) {
+    if (f.has_inf) {
+      if (mant == 0) return s * std::numeric_limits<float>::infinity();
+      return std::numeric_limits<float>::quiet_NaN();
+    }
+    // E4M3: all-ones exponent is a normal binade except the NaN code.
+    if (mant == mant_mask) return std::numeric_limits<float>::quiet_NaN();
+  }
+  if (biased == 0) {
+    // Subnormal: mant * 2^(emin - mbits).
+    return s * std::ldexp(static_cast<float>(mant), 1 - f.bias - f.mbits);
+  }
+  const float frac =
+      1.0f + std::ldexp(static_cast<float>(mant), -f.mbits);
+  return s * std::ldexp(frac, static_cast<int>(biased) - f.bias);
+}
+
+}  // namespace
+
+std::uint16_t fp16_encode(float x) {
+  return static_cast<std::uint16_t>(minifloat_pack(
+      minifloat_roundtrip(x, kFP16), kFP16));
+}
+
+float fp16_decode(std::uint16_t bits) { return minifloat_unpack(bits, kFP16); }
+
+std::uint16_t bf16_encode(float x) {
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(x);
+  if (std::isnan(x)) return static_cast<std::uint16_t>((bits >> 16) | 0x0040);
+  // Round-to-nearest-even on the dropped 16 bits.
+  const std::uint32_t rounding = 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<std::uint16_t>((bits + rounding) >> 16);
+}
+
+float bf16_decode(std::uint16_t bits) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits) << 16);
+}
+
+std::uint8_t fp8e4m3_encode(float x) {
+  return static_cast<std::uint8_t>(minifloat_pack(
+      minifloat_roundtrip(x, kE4M3), kE4M3));
+}
+
+float fp8e4m3_decode(std::uint8_t bits) { return minifloat_unpack(bits, kE4M3); }
+
+std::uint8_t fp8e5m2_encode(float x) {
+  return static_cast<std::uint8_t>(minifloat_pack(
+      minifloat_roundtrip(x, kE5M2), kE5M2));
+}
+
+float fp8e5m2_decode(std::uint8_t bits) { return minifloat_unpack(bits, kE5M2); }
+
+float fp16_roundtrip(float x) { return minifloat_roundtrip(x, kFP16); }
+float bf16_roundtrip(float x) { return bf16_decode(bf16_encode(x)); }
+float fp8e4m3_roundtrip(float x) { return minifloat_roundtrip(x, kE4M3); }
+float fp8e5m2_roundtrip(float x) { return minifloat_roundtrip(x, kE5M2); }
+
+}  // namespace mib::quant

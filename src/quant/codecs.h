@@ -1,0 +1,42 @@
+// Scalar float codecs: fp16, bf16, fp8 (e4m3 / e5m2).
+//
+// These are bit-exact software implementations (round-to-nearest-even,
+// correct subnormal handling) so that quantization-error tests measure the
+// real representational loss of each format — the same loss an H100 tensor
+// core would introduce. FP8-E4M3 follows the OCP/Nvidia convention: no
+// infinities, NaN at S.1111.111, overflow saturates to ±448.
+#pragma once
+
+#include <cstdint>
+
+namespace mib::quant {
+
+/// float -> IEEE binary16 bits.
+std::uint16_t fp16_encode(float x);
+/// IEEE binary16 bits -> float.
+float fp16_decode(std::uint16_t bits);
+
+/// float -> bfloat16 bits (round-to-nearest-even).
+std::uint16_t bf16_encode(float x);
+float bf16_decode(std::uint16_t bits);
+
+/// float -> FP8 E4M3 bits (bias 7, saturating, no inf).
+std::uint8_t fp8e4m3_encode(float x);
+float fp8e4m3_decode(std::uint8_t bits);
+
+/// float -> FP8 E5M2 bits (bias 15, IEEE-style with inf).
+std::uint8_t fp8e5m2_encode(float x);
+float fp8e5m2_decode(std::uint8_t bits);
+
+/// Round-trip through a codec (encode then decode).
+float fp16_roundtrip(float x);
+float bf16_roundtrip(float x);
+float fp8e4m3_roundtrip(float x);
+float fp8e5m2_roundtrip(float x);
+
+/// Largest finite magnitude representable by each format.
+inline constexpr float kFP16Max = 65504.0f;
+inline constexpr float kFP8E4M3Max = 448.0f;
+inline constexpr float kFP8E5M2Max = 57344.0f;
+
+}  // namespace mib::quant

@@ -1,0 +1,155 @@
+#include "quant/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "quant/codecs.h"
+
+namespace mib::quant {
+
+double QuantError::snr_db() const {
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  if (rel_err == 0.0) return std::numeric_limits<double>::infinity();
+  return -20.0 * std::log10(rel_err);
+}
+
+namespace {
+
+struct ErrorAccum {
+  double max_abs = 0.0;
+  double sq_err = 0.0;
+  double sq_ref = 0.0;
+  std::size_t n = 0;
+
+  void add(float ref, float got) {
+    const double e = static_cast<double>(ref) - got;
+    max_abs = std::max(max_abs, std::abs(e));
+    sq_err += e * e;
+    sq_ref += static_cast<double>(ref) * ref;
+    ++n;
+  }
+
+  QuantError finish() const {
+    QuantError q;
+    q.max_abs_err = max_abs;
+    q.mse = n ? sq_err / static_cast<double>(n) : 0.0;
+    q.rel_err = sq_ref > 0.0 ? std::sqrt(sq_err / sq_ref) : 0.0;
+    return q;
+  }
+};
+
+float float_roundtrip(float x, DType dt) {
+  switch (dt) {
+    case DType::kFP32:
+      return x;
+    case DType::kFP16:
+      return fp16_roundtrip(x);
+    case DType::kBF16:
+      return bf16_roundtrip(x);
+    case DType::kFP8E4M3:
+      return fp8e4m3_roundtrip(x);
+    case DType::kFP8E5M2:
+      return fp8e5m2_roundtrip(x);
+    default:
+      throw ConfigError("float_roundtrip on integer dtype " + dtype_name(dt));
+  }
+}
+
+int int_qmax(DType dt) {
+  switch (dt) {
+    case DType::kINT8:
+      return 127;
+    case DType::kINT4:
+      return 7;
+    default:
+      throw ConfigError("int_qmax on non-integer dtype " + dtype_name(dt));
+  }
+}
+
+/// Symmetric scale quantization of a contiguous block.
+void quantize_block(std::span<float> block, int qmax, ErrorAccum& acc) {
+  float max_abs = 0.0f;
+  for (float v : block) max_abs = std::max(max_abs, std::abs(v));
+  if (max_abs == 0.0f) return;  // all-zero block is exact
+  const float scale = max_abs / static_cast<float>(qmax);
+  for (float& v : block) {
+    const float ref = v;
+    const auto q = static_cast<int>(std::nearbyint(v / scale));
+    const int clamped = std::clamp(q, -qmax, qmax);
+    v = static_cast<float>(clamped) * scale;
+    acc.add(ref, v);
+  }
+}
+
+bool is_float_format(DType dt) {
+  return dt != DType::kINT8 && dt != DType::kINT4;
+}
+
+}  // namespace
+
+QuantError fake_quantize(std::span<float> data, DType dt) {
+  MIB_ENSURE(is_float_format(dt),
+             "fake_quantize(span) supports float formats only; use "
+             "fake_quantize_tensor for " << dtype_name(dt));
+  ErrorAccum acc;
+  for (float& v : data) {
+    const float ref = v;
+    v = float_roundtrip(v, dt);
+    acc.add(ref, v);
+  }
+  return acc.finish();
+}
+
+QuantError fake_quantize_tensor(Tensor& t, DType dt, Granularity g) {
+  if (is_float_format(dt)) return fake_quantize(t.flat(), dt);
+
+  MIB_ENSURE(t.rank() == 2,
+             "integer quantization expects a rank-2 weight tensor");
+  const int qmax = int_qmax(dt);
+  ErrorAccum acc;
+  switch (g) {
+    case Granularity::kPerTensor:
+      quantize_block(t.flat(), qmax, acc);
+      break;
+    case Granularity::kPerRow:
+      for (std::size_t r = 0; r < t.dim(0); ++r) {
+        quantize_block(t.row(r), qmax, acc);
+      }
+      break;
+    case Granularity::kPerGroup:
+      for (std::size_t r = 0; r < t.dim(0); ++r) {
+        auto row = t.row(r);
+        for (std::size_t off = 0; off < row.size(); off += kGroupSize) {
+          const std::size_t len = std::min(kGroupSize, row.size() - off);
+          quantize_block(row.subspan(off, len), qmax, acc);
+        }
+      }
+      break;
+  }
+  return acc.finish();
+}
+
+double storage_bits_per_value(DType dt, Granularity g, std::size_t row_size) {
+  MIB_ENSURE(row_size > 0, "row_size must be positive");
+  const double base = bytes_of(dt) * 8.0;
+  if (is_float_format(dt)) return base;
+  // fp32 scale per block.
+  const double scale_bits = 32.0;
+  double block = 0.0;
+  switch (g) {
+    case Granularity::kPerRow:
+      block = static_cast<double>(row_size);
+      break;
+    case Granularity::kPerGroup:
+      block = static_cast<double>(std::min(kGroupSize, row_size));
+      break;
+    case Granularity::kPerTensor:
+      block = static_cast<double>(row_size) * row_size;
+      break;
+  }
+  return base + scale_bits / block;
+}
+
+}  // namespace mib::quant

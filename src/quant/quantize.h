@@ -1,0 +1,54 @@
+// Tensor-level (fake-)quantization.
+//
+// "Fake quantization" replaces each value with its dequantized quantized
+// representation — the standard way to evaluate precision loss without
+// integer kernels. Float formats quantize element-wise through the codecs;
+// integer formats use symmetric scale quantization at per-tensor or per-row
+// (per-output-channel) granularity, matching GPTQ/AWQ-style weight-only
+// schemes referenced by the paper (§6.1).
+#pragma once
+
+#include <span>
+
+#include "common/dtype.h"
+#include "common/tensor.h"
+
+namespace mib::quant {
+
+enum class Granularity {
+  kPerTensor,
+  kPerRow,
+  /// GPTQ/AWQ-style: one scale per contiguous group of kGroupSize values
+  /// within a row (finer than per-row, bounded overhead).
+  kPerGroup,
+};
+
+/// Group size used by kPerGroup (the GPTQ/AWQ convention).
+inline constexpr std::size_t kGroupSize = 128;
+
+/// Error metrics of a quantization pass.
+struct QuantError {
+  double max_abs_err = 0.0;
+  double mse = 0.0;
+  /// ||x - q(x)||_F / ||x||_F  (0 when the input is all zeros).
+  double rel_err = 0.0;
+
+  /// Signal-to-noise ratio in dB (infinite when lossless).
+  double snr_db() const;
+};
+
+/// Fake-quantize a flat buffer element-wise in place. Valid for the float
+/// formats (fp32 is a no-op); integer formats require scale information and
+/// must go through fake_quantize_tensor.
+QuantError fake_quantize(std::span<float> data, DType dt);
+
+/// Fake-quantize a rank-2 weight tensor in place with the given
+/// granularity. Integer formats compute symmetric scales (per tensor or per
+/// row); float formats ignore granularity.
+QuantError fake_quantize_tensor(Tensor& t, DType dt, Granularity g);
+
+/// Storage bits per value including scale overhead (fp32 scale amortized
+/// over the elements it covers).
+double storage_bits_per_value(DType dt, Granularity g, std::size_t row_size);
+
+}  // namespace mib::quant

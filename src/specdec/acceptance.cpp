@@ -1,0 +1,49 @@
+#include "specdec/acceptance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "models/params.h"
+
+namespace mib::specdec {
+
+double expected_tokens_per_cycle(double alpha, int draft_tokens) {
+  MIB_ENSURE(alpha >= 0.0 && alpha < 1.0, "alpha must be in [0, 1)");
+  MIB_ENSURE(draft_tokens >= 0, "negative draft token count");
+  if (draft_tokens == 0) return 1.0;  // plain decoding: one token per step
+  if (alpha == 0.0) return 1.0;
+  return (1.0 - std::pow(alpha, draft_tokens + 1)) / (1.0 - alpha);
+}
+
+namespace {
+/// Calibration table for Qwen3 drafts against Qwen3-30B-A3B (paper Fig. 12).
+const std::vector<std::pair<std::string, double>> kQwen3Alphas = {
+    {"Qwen3-0.6B", 0.55},
+    {"Qwen3-1.7B", 0.72},
+    {"Qwen3-4B", 0.76},
+    {"Qwen3-8B", 0.78},
+};
+}  // namespace
+
+double acceptance_from_size(double draft_total_params) {
+  MIB_ENSURE(draft_total_params > 0, "draft must have parameters");
+  const double b = draft_total_params / 1e9;
+  return std::clamp(0.80 - 0.35 * std::exp(-b / 1.5), 0.30, 0.90);
+}
+
+double default_acceptance(const models::ModelConfig& draft,
+                          const models::ModelConfig& target) {
+  MIB_ENSURE(draft.vocab == target.vocab,
+             "speculative decoding requires a shared vocabulary: " +
+                 draft.name + " vs " + target.name);
+  for (const auto& [name, alpha] : kQwen3Alphas) {
+    if (draft.name == name) return alpha;
+  }
+  return acceptance_from_size(models::total_params(draft));
+}
+
+}  // namespace mib::specdec

@@ -1,0 +1,29 @@
+// Draft-token acceptance model for speculative decoding (§6.3).
+//
+// The per-token acceptance rate alpha is the probability the target model
+// keeps a draft token. With k speculated tokens per cycle, the expected
+// number of tokens emitted per cycle (accepted prefix + the target's own
+// corrected/bonus token) is the standard geometric sum
+//     E[k, alpha] = (1 - alpha^(k+1)) / (1 - alpha).
+// Alphas for the Qwen3 draft family are calibrated to the paper's relative
+// throughput ordering (1.7B leader; 0.6B trailing by 25-35%); the generic
+// fallback follows the empirical pattern that acceptance grows with draft
+// capacity with diminishing returns.
+#pragma once
+
+#include "models/config.h"
+
+namespace mib::specdec {
+
+/// Expected tokens emitted per speculation cycle.
+double expected_tokens_per_cycle(double alpha, int draft_tokens);
+
+/// Calibrated acceptance for a (draft, target) pair. Same-family pairs use
+/// the calibration table; unknown pairs use the size-based fallback.
+double default_acceptance(const models::ModelConfig& draft,
+                          const models::ModelConfig& target);
+
+/// Size-based fallback: alpha in [0.30, 0.90] growing with draft size.
+double acceptance_from_size(double draft_total_params);
+
+}  // namespace mib::specdec

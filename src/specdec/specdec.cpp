@@ -1,0 +1,106 @@
+#include "specdec/specdec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace mib::specdec {
+
+void SpecDecConfig::validate() const {
+  target.validate();
+  draft.validate();
+  MIB_ENSURE(draft_tokens >= 0, "negative draft token count");
+  MIB_ENSURE(draft.model.vocab == target.model.vocab,
+             "draft and target must share a vocabulary (" + draft.model.name +
+                 " vs " + target.model.name + ")");
+}
+
+SpecDecSimulator::SpecDecSimulator(SpecDecConfig cfg)
+    : cfg_(std::move(cfg)), target_(cfg_.target), draft_(cfg_.draft) {
+  cfg_.validate();
+}
+
+SpecDecMetrics SpecDecSimulator::run(int batch, int input_tokens,
+                                     int output_tokens) const {
+  MIB_ENSURE(batch >= 1, "batch must be >= 1");
+  MIB_ENSURE(input_tokens >= 1 && output_tokens >= 1,
+             "token counts must be >= 1");
+
+  if (cfg_.enforce_memory) {
+    // Both models live on the target's cluster: combined weights plus both
+    // KV caches for the batch's full context must fit.
+    const auto& tm = target_.memory_model();
+    const auto& dm = draft_.memory_model();
+    const double ctx = input_tokens + output_tokens;
+    const double need =
+        tm.weight_bytes_per_device() + dm.weight_bytes_per_device() +
+        batch * ctx *
+            (tm.kv_bytes_per_token_per_device() +
+             dm.kv_bytes_per_token_per_device()) +
+        tm.activation_bytes(input_tokens);
+    const double have = cfg_.target.cluster.device().usable_mem();
+    if (need > have) {
+      throw OutOfMemoryError(
+          cfg_.target.model.name + " + draft " + cfg_.draft.model.name +
+              ": speculative pair needs " + format_fixed(need / kGiB, 1) +
+              " GiB > " + format_fixed(have / kGiB, 1) + " GiB",
+          need / kGiB, have / kGiB);
+    }
+  }
+
+  SpecDecMetrics m;
+  m.alpha = cfg_.acceptance > 0.0
+                ? cfg_.acceptance
+                : default_acceptance(cfg_.draft.model, cfg_.target.model);
+  const int k = cfg_.draft_tokens;
+  m.tokens_per_cycle = expected_tokens_per_cycle(m.alpha, k);
+
+  // Both models prefill the prompt (the draft needs its own KV cache).
+  const auto& tcost = target_.cost_model();
+  const auto& dcost = draft_.cost_model();
+  const double target_prefill = tcost.prefill(batch, input_tokens).total();
+  const double draft_prefill = dcost.prefill(batch, input_tokens).total();
+  m.ttft_s = target_prefill + draft_prefill;
+
+  // Steady-state cycle at mid-generation context.
+  const double mid_ctx = input_tokens + 0.5 * output_tokens;
+  double cycle = 0.0;
+  if (k > 0) {
+    // k sequential draft decode steps.
+    cycle += k * dcost.decode_step(batch, mid_ctx).total();
+    // Target verify: batch-expanded forward over (k + 1) positions per
+    // sequence — weights read once, KV read (k + 1) times.
+    cycle += tcost.decode_step(batch * (k + 1), mid_ctx).total();
+    // Proposal bookkeeping / KV rollback per speculated token.
+    cycle += k * tcost.cluster().device().step_overhead * 0.5;
+  } else {
+    cycle = tcost.decode_step(batch, mid_ctx).total();
+  }
+  m.cycle_s = cycle;
+
+  const double gen_tokens = static_cast<double>(output_tokens);
+  const double cycles = std::max(0.0, (gen_tokens - 1.0)) / m.tokens_per_cycle;
+  const double decode_time = cycles * cycle;
+  m.e2e_s = m.ttft_s + decode_time;
+
+  const double total_tokens =
+      static_cast<double>(batch) * (input_tokens + output_tokens);
+  m.throughput_tok_s = total_tokens / m.e2e_s;
+  m.decode_tok_s = decode_time > 0.0
+                       ? static_cast<double>(batch) * (gen_tokens - 1.0) /
+                             decode_time
+                       : 0.0;
+
+  // Plain decoding baseline on the target engine.
+  const double plain_step = tcost.decode_step(batch, mid_ctx).total();
+  m.speedup_vs_plain =
+      plain_step > 0.0 && cycle > 0.0
+          ? (m.tokens_per_cycle / cycle) / (1.0 / plain_step)
+          : 1.0;
+  return m;
+}
+
+}  // namespace mib::specdec

@@ -1,0 +1,53 @@
+// Speculative-decoding throughput simulation (§6.3).
+//
+// One speculation cycle = k sequential draft decode steps + one target
+// verification pass. Verification uses batch expansion (vLLM's scoring
+// path): the target runs a decode-like forward over batch x (k + 1)
+// positions, so its KV reads scale with k — the "validation overhead" the
+// paper observes growing with the draft-token count.
+#pragma once
+
+#include "engine/engine.h"
+#include "specdec/acceptance.h"
+
+namespace mib::specdec {
+
+struct SpecDecConfig {
+  engine::EngineConfig target;
+  engine::EngineConfig draft;
+  int draft_tokens = 4;
+  /// Per-token acceptance; <= 0 selects default_acceptance(draft, target).
+  double acceptance = -1.0;
+  /// Check that target + draft weights and both KV caches fit the target's
+  /// cluster (they share the device in a real deployment).
+  bool enforce_memory = true;
+
+  void validate() const;
+};
+
+struct SpecDecMetrics {
+  double alpha = 0.0;             ///< acceptance rate used
+  double tokens_per_cycle = 0.0;  ///< expected emitted tokens per cycle
+  double cycle_s = 0.0;           ///< draft steps + verify, steady state
+  double ttft_s = 0.0;            ///< target prefill + draft prefill
+  double e2e_s = 0.0;
+  double throughput_tok_s = 0.0;  ///< paper eq. (2)
+  double decode_tok_s = 0.0;      ///< generated tokens per second
+  double speedup_vs_plain = 0.0;  ///< decode speedup over non-speculative
+};
+
+class SpecDecSimulator {
+ public:
+  explicit SpecDecSimulator(SpecDecConfig cfg);
+
+  const SpecDecConfig& config() const { return cfg_; }
+
+  SpecDecMetrics run(int batch, int input_tokens, int output_tokens) const;
+
+ private:
+  SpecDecConfig cfg_;
+  engine::SimEngine target_;
+  engine::SimEngine draft_;
+};
+
+}  // namespace mib::specdec

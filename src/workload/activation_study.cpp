@@ -1,0 +1,95 @@
+#include "workload/activation_study.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/tensor.h"
+
+namespace mib::workload {
+
+ActivationStudy::ActivationStudy(const models::ModelConfig& model,
+                                 ActivationStudyConfig cfg)
+    : cfg_(cfg), top_k_(model.top_k), rng_(cfg.seed) {
+  MIB_ENSURE(model.is_moe(), model.name << " is not a MoE model");
+  MIB_ENSURE(cfg_.sim_hidden >= 8, "sim_hidden too small");
+  MIB_ENSURE(cfg_.router_skew >= 0.0, "negative router skew");
+
+  const int n_moe_layers = model.moe_layers();
+  routers_.reserve(n_moe_layers);
+  counts_.resize(n_moe_layers);
+  for (int l = 0; l < n_moe_layers; ++l) {
+    moe::RouterConfig rc;
+    rc.hidden = cfg_.sim_hidden;
+    rc.n_experts = model.n_experts;
+    rc.top_k = model.top_k;
+    Rng layer_rng = rng_.split();
+    routers_.emplace_back(rc, layer_rng);
+    if (cfg_.router_skew > 0.0) {
+      // Zipf-decaying prior, shuffled per layer so the "popular" experts
+      // differ across layers (as in the paper's MolmoE heatmap).
+      std::vector<float> prior(model.n_experts);
+      std::vector<int> rank(model.n_experts);
+      for (int e = 0; e < model.n_experts; ++e) rank[e] = e;
+      for (int e = model.n_experts - 1; e > 0; --e) {
+        const int j = static_cast<int>(layer_rng.uniform_index(e + 1));
+        std::swap(rank[e], rank[j]);
+      }
+      for (int e = 0; e < model.n_experts; ++e) {
+        prior[e] = static_cast<float>(
+            -cfg_.router_skew * std::log(static_cast<double>(rank[e] + 1)));
+      }
+      routers_.back().set_logit_prior(std::move(prior));
+    }
+    counts_[l].assign(model.n_experts, 0);
+  }
+}
+
+int ActivationStudy::n_experts() const {
+  return routers_.empty() ? 0 : routers_.front().config().n_experts;
+}
+
+void ActivationStudy::run(int tokens) {
+  MIB_ENSURE(tokens >= 1, "need at least one token");
+  constexpr int kChunk = 256;
+  int remaining = tokens;
+  while (remaining > 0) {
+    const int n = std::min(kChunk, remaining);
+    const Tensor x = Tensor::randn(
+        {static_cast<std::size_t>(n),
+         static_cast<std::size_t>(cfg_.sim_hidden)},
+        rng_, 1.0f);
+    for (std::size_t l = 0; l < routers_.size(); ++l) {
+      routers_[l].route(x);
+    }
+    remaining -= n;
+  }
+  for (std::size_t l = 0; l < routers_.size(); ++l) {
+    counts_[l] = routers_[l].activation_counts();
+  }
+}
+
+std::uint64_t ActivationStudy::peak() const {
+  std::uint64_t mx = 0;
+  for (const auto& layer : counts_) {
+    for (auto c : layer) mx = std::max(mx, c);
+  }
+  return mx;
+}
+
+double ActivationStudy::mean_cv() const {
+  if (counts_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& layer : counts_) acc += coefficient_of_variation(layer);
+  return acc / static_cast<double>(counts_.size());
+}
+
+double ActivationStudy::mean_imbalance() const {
+  if (counts_.empty()) return 1.0;
+  double acc = 0.0;
+  for (const auto& layer : counts_) acc += max_over_mean(layer);
+  return acc / static_cast<double>(counts_.size());
+}
+
+}  // namespace mib::workload

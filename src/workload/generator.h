@@ -1,0 +1,60 @@
+// Workload generators: fixed-shape batches (the paper's grid) and sampled
+// request mixes (for the serving example and property tests).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/request.h"
+
+namespace mib::workload {
+
+/// Length distribution of sampled requests.
+struct LengthDistribution {
+  int min_tokens = 16;
+  int max_tokens = 2048;
+  /// Zipf exponent over the [min, max] range binned in powers of two;
+  /// 0 = uniform over bins.
+  double skew = 1.0;
+};
+
+struct TraceConfig {
+  int n_requests = 64;
+  LengthDistribution input;
+  LengthDistribution output;
+  int images_per_request = 0;  ///< fixed (VLM tasks attach one image)
+  std::uint64_t seed = 42;
+};
+
+/// Sample a request trace.
+std::vector<engine::Request> generate_trace(const TraceConfig& cfg);
+
+/// Multi-turn conversation workload: every turn's prompt contains the
+/// shared system prompt plus the running conversation history, so later
+/// turns have longer inputs — the workload shape prefix caching exists
+/// for.
+struct ConversationConfig {
+  int n_conversations = 16;
+  int turns_per_conversation = 4;
+  int system_prompt_tokens = 512;
+  LengthDistribution user_turn = {16, 256, 1.0};
+  LengthDistribution reply = {16, 256, 1.0};
+  std::uint64_t seed = 42;
+};
+
+struct Turn {
+  int conversation = 0;
+  int turn = 0;
+  engine::Request request;          ///< full prompt incl. history
+  int shared_prefix_tokens = 0;     ///< reusable tokens (system + history)
+};
+
+std::vector<Turn> generate_conversations(const ConversationConfig& cfg);
+
+/// The paper's parameter grid (§3.2): batch sizes and in/out lengths.
+const std::vector<int>& paper_batch_sizes();       // {1, 16, 32, 64}
+const std::vector<int>& paper_sequence_lengths();  // {128,...,2048}
+/// Fig. 5/6 extend batches to 128.
+const std::vector<int>& extended_batch_sizes();    // {1, 16, 32, 64, 128}
+
+}  // namespace mib::workload

@@ -1,0 +1,78 @@
+#include "accuracy/optimization_impact.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mib::accuracy {
+namespace {
+
+TEST(OptimizationImpact, HalfPrecisionIsFree) {
+  EXPECT_DOUBLE_EQ(quantization_accuracy_delta(DType::kFP16), 0.0);
+  EXPECT_DOUBLE_EQ(quantization_accuracy_delta(DType::kBF16), 0.0);
+  EXPECT_DOUBLE_EQ(quantization_accuracy_delta(DType::kFP32), 0.0);
+}
+
+TEST(OptimizationImpact, QuantizationOrderingMatchesPrecision) {
+  // Coarser formats cost more accuracy, in the same order as their
+  // measured representational error (tests/quant).
+  const double fp8 = quantization_accuracy_delta(DType::kFP8E4M3);
+  const double e5m2 = quantization_accuracy_delta(DType::kFP8E5M2);
+  const double int8 = quantization_accuracy_delta(DType::kINT8);
+  const double int4 = quantization_accuracy_delta(DType::kINT4);
+  EXPECT_LT(fp8, 0.0);
+  EXPECT_LT(e5m2, fp8);   // fewer mantissa bits
+  EXPECT_LT(int4, int8);
+  EXPECT_LT(int4, e5m2);
+  EXPECT_GT(int4, -5.0);  // int4 g128 stays usable
+}
+
+TEST(OptimizationImpact, PruningDeltasAreZeroAtZero) {
+  EXPECT_DOUBLE_EQ(inter_expert_prune_accuracy_delta(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(intra_expert_prune_accuracy_delta(0.0), 0.0);
+}
+
+TEST(OptimizationImpact, PruningDeltasMonotoneAndConvex) {
+  double prev_inter = 0.0, prev_intra = 0.0;
+  double prev_inter_step = 0.0, prev_intra_step = 0.0;
+  for (double r : {0.125, 0.25, 0.375, 0.5, 0.625}) {
+    const double inter = inter_expert_prune_accuracy_delta(r);
+    const double intra = intra_expert_prune_accuracy_delta(r);
+    EXPECT_LT(inter, prev_inter) << r;
+    EXPECT_LT(intra, prev_intra) << r;
+    // Convex decline: each step costs more than the previous one.
+    const double inter_step = prev_inter - inter;
+    const double intra_step = prev_intra - intra;
+    EXPECT_GT(inter_step, prev_inter_step) << r;
+    EXPECT_GT(intra_step, prev_intra_step) << r;
+    prev_inter = inter;
+    prev_intra = intra;
+    prev_inter_step = inter_step;
+    prev_intra_step = intra_step;
+  }
+}
+
+TEST(OptimizationImpact, InterPruningHurtsMoreThanIntra) {
+  // Removing whole specialized experts is worse than trimming channels.
+  for (double r : {0.125, 0.25, 0.5}) {
+    EXPECT_LT(inter_expert_prune_accuracy_delta(r),
+              intra_expert_prune_accuracy_delta(r))
+        << r;
+  }
+}
+
+TEST(OptimizationImpact, PaperAnchors) {
+  // ~-2 pt at 25% inter, ~-10 pt at 50% inter; gentler intra slope.
+  EXPECT_NEAR(inter_expert_prune_accuracy_delta(0.25), -1.25, 1.0);
+  EXPECT_NEAR(inter_expert_prune_accuracy_delta(0.5), -8.0, 3.0);
+  EXPECT_NEAR(intra_expert_prune_accuracy_delta(0.5), -4.0, 2.0);
+}
+
+TEST(OptimizationImpact, InvalidRatios) {
+  EXPECT_THROW(inter_expert_prune_accuracy_delta(-0.1), Error);
+  EXPECT_THROW(inter_expert_prune_accuracy_delta(1.0), Error);
+  EXPECT_THROW(intra_expert_prune_accuracy_delta(1.5), Error);
+}
+
+}  // namespace
+}  // namespace mib::accuracy

@@ -1,0 +1,72 @@
+#include "accuracy/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mib::accuracy {
+namespace {
+
+TEST(Registry, TaskListsMatchPaper) {
+  EXPECT_EQ(llm_tasks().size(), 8u);
+  EXPECT_EQ(vlm_tasks().size(), 8u);
+  // Spot checks of §8.1 / §8.2 task names.
+  EXPECT_NE(std::find(llm_tasks().begin(), llm_tasks().end(), "mmlu"),
+            llm_tasks().end());
+  EXPECT_NE(std::find(llm_tasks().begin(), llm_tasks().end(), "hellaswag"),
+            llm_tasks().end());
+  EXPECT_NE(std::find(vlm_tasks().begin(), vlm_tasks().end(), "mme"),
+            vlm_tasks().end());
+  EXPECT_NE(std::find(vlm_tasks().begin(), vlm_tasks().end(), "docvqa"),
+            vlm_tasks().end());
+}
+
+TEST(Registry, SixLlmsAndThreeVlmsTabulated) {
+  EXPECT_EQ(models_with_llm_scores().size(), 6u);
+  EXPECT_EQ(models_with_vlm_scores().size(), 3u);
+}
+
+TEST(Registry, ScoresInRange) {
+  for (const auto& m : models_with_llm_scores()) {
+    for (const auto& t : llm_tasks()) {
+      const auto s = task_accuracy(m, t);
+      ASSERT_TRUE(s.has_value()) << m << " " << t;
+      EXPECT_GT(*s, 20.0) << m << " " << t;
+      EXPECT_LT(*s, 100.0) << m << " " << t;
+    }
+  }
+}
+
+TEST(Registry, UnknownLookupsAreEmpty) {
+  EXPECT_FALSE(task_accuracy("GPT-5", "mmlu").has_value());
+  EXPECT_FALSE(task_accuracy("Mixtral-8x7B", "nonexistent").has_value());
+}
+
+TEST(Registry, AverageAccuracyOrderingMatchesPaper) {
+  // §8.1: Qwen3-30B-A3B and Mixtral deliver the highest accuracies; OLMoE
+  // trades accuracy for throughput.
+  const double qwen3 = average_accuracy("Qwen3-30B-A3B", llm_tasks());
+  const double mixtral = average_accuracy("Mixtral-8x7B", llm_tasks());
+  const double olmoe = average_accuracy("OLMoE-1B-7B", llm_tasks());
+  const double dsv2 = average_accuracy("DeepSeek-V2-Lite", llm_tasks());
+  EXPECT_GT(qwen3, dsv2);
+  EXPECT_GT(mixtral, olmoe);
+  EXPECT_GT(qwen3, olmoe);
+}
+
+TEST(Registry, VlmAccuracyGrowsWithScale) {
+  // §8.2: Tiny < Small < Base.
+  const double tiny = average_accuracy("DeepSeek-VL2-Tiny", vlm_tasks());
+  const double small = average_accuracy("DeepSeek-VL2-Small", vlm_tasks());
+  const double base = average_accuracy("DeepSeek-VL2", vlm_tasks());
+  EXPECT_LT(tiny, small);
+  EXPECT_LT(small, base);
+}
+
+TEST(Registry, AverageRequiresCompleteRows) {
+  EXPECT_THROW(average_accuracy("Mixtral-8x7B", vlm_tasks()), Error);
+  EXPECT_THROW(average_accuracy("Mixtral-8x7B", {}), Error);
+}
+
+}  // namespace
+}  // namespace mib::accuracy

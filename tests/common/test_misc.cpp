@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/dtype.h"
+#include "common/error.h"
+#include "common/string_util.h"
+#include "common/units.h"
+
+namespace mib {
+namespace {
+
+TEST(Error, EnsureThrowsWithContext) {
+  try {
+    MIB_ENSURE(1 == 2, "custom message " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+  }
+}
+
+TEST(Error, EnsurePassesSilently) {
+  MIB_ENSURE(true, "never evaluated");
+  SUCCEED();
+}
+
+TEST(Error, OutOfMemoryCarriesSizes) {
+  const OutOfMemoryError e("too big", 120.0, 72.0);
+  EXPECT_DOUBLE_EQ(e.required_gib(), 120.0);
+  EXPECT_DOUBLE_EQ(e.available_gib(), 72.0);
+  EXPECT_TRUE(dynamic_cast<const Error*>(&e) != nullptr);
+}
+
+TEST(DType, StorageBytes) {
+  EXPECT_DOUBLE_EQ(bytes_of(DType::kFP32), 4.0);
+  EXPECT_DOUBLE_EQ(bytes_of(DType::kFP16), 2.0);
+  EXPECT_DOUBLE_EQ(bytes_of(DType::kBF16), 2.0);
+  EXPECT_DOUBLE_EQ(bytes_of(DType::kFP8E4M3), 1.0);
+  EXPECT_DOUBLE_EQ(bytes_of(DType::kINT8), 1.0);
+  EXPECT_DOUBLE_EQ(bytes_of(DType::kINT4), 0.5);
+  EXPECT_EQ(bits_of(DType::kINT4), 4);
+}
+
+TEST(DType, NameRoundTrip) {
+  for (DType dt : {DType::kFP32, DType::kFP16, DType::kBF16,
+                   DType::kFP8E4M3, DType::kFP8E5M2, DType::kINT8,
+                   DType::kINT4}) {
+    EXPECT_EQ(dtype_from_name(dtype_name(dt)), dt);
+  }
+  EXPECT_EQ(dtype_from_name("fp8"), DType::kFP8E4M3);
+  EXPECT_THROW(dtype_from_name("float64"), ConfigError);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(to_ms(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(to_us(0.001), 1000.0);
+  EXPECT_DOUBLE_EQ(to_gib(kGiB), 1.0);
+  EXPECT_DOUBLE_EQ(to_gb(kGB), 1.0);
+}
+
+TEST(StringUtil, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, CaseAndPrefix) {
+  EXPECT_EQ(to_lower("MiXtRaL-8x7B"), "mixtral-8x7b");
+  EXPECT_TRUE(starts_with("fig05_topk", "fig05"));
+  EXPECT_FALSE(starts_with("fig", "fig05"));
+}
+
+TEST(StringUtil, ParamAndByteFormatting) {
+  EXPECT_EQ(format_param_count(12.9e9), "12.9B");
+  EXPECT_EQ(format_param_count(350e6), "350.0M");
+  EXPECT_EQ(format_param_count(1500), "1.5K");
+  EXPECT_EQ(format_param_count(12), "12");
+  EXPECT_EQ(format_bytes(2.0 * kGiB), "2.00 GiB");
+  EXPECT_EQ(format_bytes(512), "512 B");
+}
+
+}  // namespace
+}  // namespace mib

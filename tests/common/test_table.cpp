@@ -1,0 +1,79 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mib {
+namespace {
+
+TEST(Table, BuildsRowsAndColumns) {
+  Table t("demo");
+  t.set_headers({"a", "b"});
+  t.new_row().cell("x").cell(1.5, 1);
+  t.new_row().cell("y").cell(std::size_t{7});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.row_data()[0][1], "1.5");
+  EXPECT_EQ(t.row_data()[1][1], "7");
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t;
+  EXPECT_THROW(t.cell("x"), Error);
+}
+
+TEST(Table, PrintContainsContent) {
+  Table t("title");
+  t.set_headers({"col"});
+  t.new_row().cell("value");
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string s = oss.str();
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("col"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t;
+  t.set_headers({"h", "wide_header"});
+  t.new_row().cell("longer_cell").cell("x");
+  std::ostringstream oss;
+  t.print(oss);
+  // Every printed line of the box must have the same width.
+  std::istringstream iss(oss.str());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(iss, line)) {
+    if (line.empty()) continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(Table, CsvEscaping) {
+  Table t;
+  t.set_headers({"name", "value"});
+  t.new_row().cell("has,comma").cell("has\"quote");
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "name,value\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(Table, AddRowWholesale) {
+  Table t;
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.0, 0), "3");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace mib

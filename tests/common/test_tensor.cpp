@@ -1,0 +1,166 @@
+#include "common/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <cmath>
+
+namespace mib {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FullAndZeros) {
+  const Tensor f = Tensor::full({4}, 2.5f);
+  for (float v : f.flat()) EXPECT_EQ(v, 2.5f);
+  const Tensor z = Tensor::zeros({2, 2});
+  EXPECT_EQ(z.size(), 4u);
+}
+
+TEST(Tensor, RandnIsSeeded) {
+  Rng a(5), b(5);
+  const Tensor x = Tensor::randn({8, 8}, a);
+  const Tensor y = Tensor::randn({8, 8}, b);
+  EXPECT_EQ(max_abs_diff(x, y), 0.0f);
+}
+
+TEST(Tensor, InvalidShapesThrow) {
+  EXPECT_THROW(Tensor({0, 3}), Error);
+  EXPECT_THROW(Tensor({1, 2, 3, 4}), Error);
+}
+
+TEST(Tensor, ElementAccess) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t.at(1, 2), 7.0f);
+  EXPECT_EQ(t.at(5), 7.0f);  // row-major flat index
+  EXPECT_THROW(t.at(2, 0), Error);
+  EXPECT_THROW(t.at(0, 3), Error);
+  EXPECT_THROW(t.at(6), Error);
+}
+
+TEST(Tensor, RowView) {
+  Tensor t({2, 4});
+  auto r1 = t.row(1);
+  r1[3] = 9.0f;
+  EXPECT_EQ(t.at(1, 3), 9.0f);
+  EXPECT_THROW(t.row(2), Error);
+}
+
+TEST(Matmul, HandComputed2x2) {
+  Tensor a({2, 2});
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Tensor b({2, 2});
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  Tensor c;
+  matmul(a, b, c);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matmul, TransposedMatchesPlain) {
+  Rng rng(3);
+  const Tensor a = Tensor::randn({5, 7}, rng);
+  const Tensor b = Tensor::randn({7, 4}, rng);
+  // bt[n, k] = b[k, n]
+  Tensor bt({4, 7});
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  Tensor c1, c2;
+  matmul(a, b, c1, false);
+  matmul(a, bt, c2, true);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-5f);
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  Tensor a({2, 3}), b({4, 2});
+  Tensor c;
+  EXPECT_THROW(matmul(a, b, c), Error);
+}
+
+TEST(Matmul, IdentityPreserves) {
+  Rng rng(9);
+  const Tensor a = Tensor::randn({3, 3}, rng);
+  Tensor eye({3, 3});
+  for (std::size_t i = 0; i < 3; ++i) eye.at(i, i) = 1.0f;
+  Tensor c;
+  matmul(a, eye, c);
+  EXPECT_LT(max_abs_diff(a, c), 1e-6f);
+}
+
+TEST(ElementwiseOps, AddScale) {
+  Tensor y = Tensor::full({3}, 1.0f);
+  const Tensor x = Tensor::full({3}, 2.0f);
+  add_inplace(y, x);
+  for (float v : y.flat()) EXPECT_EQ(v, 3.0f);
+  scale_inplace(y, 2.0f);
+  for (float v : y.flat()) EXPECT_EQ(v, 6.0f);
+}
+
+TEST(ElementwiseOps, AddShapeMismatchThrows) {
+  Tensor y({2}), x({3});
+  EXPECT_THROW(add_inplace(y, x), Error);
+}
+
+TEST(Silu, KnownValues) {
+  Tensor y({3});
+  y.at(0) = 0.0f;
+  y.at(1) = 10.0f;
+  y.at(2) = -10.0f;
+  silu_inplace(y);
+  EXPECT_NEAR(y.at(0), 0.0f, 1e-6);
+  EXPECT_NEAR(y.at(1), 10.0f, 1e-3);   // silu(x) -> x for large x
+  EXPECT_NEAR(y.at(2), 0.0f, 1e-3);    // -> 0 for very negative x
+}
+
+TEST(Softmax, RowsNormalized) {
+  Rng rng(21);
+  Tensor y = Tensor::randn({4, 8}, rng, 3.0f);
+  softmax_rows_inplace(y);
+  for (std::size_t i = 0; i < 4; ++i) {
+    float sum = 0.0f;
+    for (float v : y.row(i)) {
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  Tensor y({1, 3});
+  y.at(0, 0) = 1000.0f;
+  y.at(0, 1) = 999.0f;
+  y.at(0, 2) = -1000.0f;
+  softmax_rows_inplace(y);
+  EXPECT_TRUE(std::isfinite(y.at(0, 0)));
+  EXPECT_GT(y.at(0, 0), y.at(0, 1));
+  EXPECT_NEAR(y.at(0, 2), 0.0f, 1e-6);
+}
+
+TEST(Norms, FrobeniusAndMaxDiff) {
+  Tensor a = Tensor::full({2, 2}, 3.0f);
+  EXPECT_NEAR(frobenius_norm(a), 6.0f, 1e-6);
+  Tensor b = Tensor::full({2, 2}, 2.5f);
+  EXPECT_NEAR(max_abs_diff(a, b), 0.5f, 1e-6);
+}
+
+}  // namespace
+}  // namespace mib

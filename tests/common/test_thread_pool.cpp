@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mib {
+namespace {
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [](std::size_t) { FAIL(); });
+  pool.parallel_for(7, 3, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForSingleThreadFallback) {
+  ThreadPool pool(1);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(0, 64, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 42) throw Error("boom");
+                        }),
+      Error);
+  // The pool must stay usable afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, NullTaskRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), Error);
+}
+
+TEST(ThreadPool, SharedPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+TEST(ThreadPool, ParallelForLargeGrain) {
+  ThreadPool pool(8);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(1, 10001, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i));
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 10001 / 2);
+}
+
+}  // namespace
+}  // namespace mib

@@ -1,0 +1,69 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include <vector>
+
+namespace mib {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler z(16, 1.2);
+  double total = 0.0;
+  for (std::size_t k = 0; k < z.size(); ++k) total += z.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfMonotoneDecreasing) {
+  const ZipfSampler z(32, 1.0);
+  for (std::size_t k = 1; k < z.size(); ++k) {
+    EXPECT_LE(z.pmf(k), z.pmf(k - 1) + 1e-15);
+  }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfSampler z(10, 0.0);
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    EXPECT_NEAR(z.pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, SingleElementAlwaysSampled) {
+  const ZipfSampler z(1, 2.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, SampleFrequenciesMatchPmf) {
+  const ZipfSampler z(8, 1.5);
+  Rng rng(99);
+  std::vector<int> counts(8, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.pmf(k), 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, HigherExponentMoreSkewed) {
+  const ZipfSampler mild(16, 0.5);
+  const ZipfSampler steep(16, 2.0);
+  EXPECT_GT(steep.pmf(0), mild.pmf(0));
+  EXPECT_LT(steep.pmf(15), mild.pmf(15));
+}
+
+TEST(Zipf, InvalidConstruction) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), Error);
+  EXPECT_THROW(ZipfSampler(4, -0.1), Error);
+}
+
+TEST(Zipf, PmfOutOfRangeThrows) {
+  const ZipfSampler z(4, 1.0);
+  EXPECT_THROW(z.pmf(4), Error);
+}
+
+}  // namespace
+}  // namespace mib

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+#include "core/experiments.h"
+#include "core/report.h"
+#include "core/scenario.h"
+
+namespace mib::core {
+namespace {
+
+TEST(Scenario, DefaultsRunEndToEnd) {
+  Scenario s;
+  const auto m = s.run();
+  EXPECT_GT(m.throughput_tok_s, 0.0);
+}
+
+TEST(Scenario, FluentHelpersCompose) {
+  Scenario s;
+  const auto t = s.with_batch(16)
+                     .with_lengths(256, 512)
+                     .with_devices(2)
+                     .with_dtype(DType::kFP8E4M3)
+                     .with_fused(false);
+  EXPECT_EQ(t.batch, 16);
+  EXPECT_EQ(t.input_tokens, 256);
+  EXPECT_EQ(t.output_tokens, 512);
+  EXPECT_EQ(t.n_devices, 2);
+  EXPECT_EQ(t.weight_dtype, DType::kFP8E4M3);
+  EXPECT_FALSE(t.fused_moe);
+  // Original untouched (value semantics).
+  EXPECT_EQ(s.batch, 1);
+}
+
+TEST(Scenario, DefaultPlanIsTpOverNode) {
+  Scenario s;
+  s.model = "Mixtral-8x7B";
+  s.n_devices = 4;
+  const auto cfg = s.engine_config();
+  EXPECT_EQ(cfg.plan.tp, 4);
+  EXPECT_EQ(cfg.plan.pp, 1);
+}
+
+TEST(Scenario, ExplicitPlanWins) {
+  Scenario s;
+  s.model = "OLMoE-1B-7B";
+  s.n_devices = 4;
+  s.plan = parallel::pp_plan(4);
+  EXPECT_EQ(s.engine_config().plan.pp, 4);
+}
+
+TEST(Scenario, ModelOverrideUsed) {
+  Scenario s;
+  auto m = models::olmoe_1b_7b();
+  m.top_k = 1;
+  const auto t = s.with_model(m);
+  EXPECT_EQ(t.resolve_model().top_k, 1);
+  EXPECT_EQ(s.resolve_model().name, "OLMoE-1B-7B");
+}
+
+TEST(Scenario, DeviceSelection) {
+  Scenario s;
+  s.device = "cs3";
+  s.model = "OLMoE-1B-7B";
+  EXPECT_EQ(s.engine_config().cluster.device().name, "Cerebras-CS3");
+  s.device = "a100";
+  EXPECT_EQ(s.engine_config().cluster.device().name, "A100-SXM4-80GB");
+}
+
+TEST(Scenario, UnknownModelThrows) {
+  Scenario s;
+  s.model = "not-a-model";
+  EXPECT_THROW(s.run(), ConfigError);
+}
+
+TEST(Experiments, RegistryCoversEveryPaperFigure) {
+  std::set<std::string> ids;
+  for (const auto& e : experiments()) ids.insert(e.id);
+  for (const char* want :
+       {"table1", "fig01", "fig03", "fig04", "fig05", "fig06", "fig07",
+        "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+        "fig15", "fig16", "fig17", "fig18"}) {
+    EXPECT_TRUE(ids.count(want)) << want;
+  }
+}
+
+TEST(Experiments, IdsUniqueAndFieldsNonEmpty) {
+  std::set<std::string> ids;
+  for (const auto& e : experiments()) {
+    EXPECT_TRUE(ids.insert(e.id).second) << "duplicate " << e.id;
+    EXPECT_FALSE(e.title.empty());
+    EXPECT_FALSE(e.bench_target.empty());
+  }
+}
+
+TEST(Experiments, LookupWorks) {
+  EXPECT_EQ(experiment("fig12").bench_target, "fig12_specdec");
+  EXPECT_THROW(experiment("fig99"), ConfigError);
+}
+
+TEST(Report, BannerMentionsExperiment) {
+  std::ostringstream oss;
+  print_banner(oss, "fig10");
+  EXPECT_NE(oss.str().find("fig10"), std::string::npos);
+  EXPECT_NE(oss.str().find("FP16"), std::string::npos);
+}
+
+TEST(Report, MetricCellFormatsValue) {
+  Scenario s;
+  const auto cell = metric_cell([&] { return s.run(); }, throughput_of, 1);
+  EXPECT_NE(cell, "OOM");
+  EXPECT_NE(cell.find('.'), std::string::npos);
+}
+
+TEST(Report, MetricCellCatchesOom) {
+  Scenario s;
+  s.model = "Mixtral-8x7B";
+  s.n_devices = 1;  // 93 GiB of fp16 weights: guaranteed OOM
+  const auto cell = metric_cell([&] { return s.run(); }, throughput_of);
+  EXPECT_EQ(cell, "OOM");
+}
+
+TEST(Report, CsvExportHonorsEnvVar) {
+  Table t;
+  t.set_headers({"a", "b"});
+  t.new_row().cell("1").cell("2");
+  ::unsetenv("MIB_RESULTS_DIR");
+  EXPECT_FALSE(maybe_export_csv(t, "unit_test_table"));
+  ::setenv("MIB_RESULTS_DIR", "/tmp/mib_test_results", 1);
+  EXPECT_TRUE(maybe_export_csv(t, "unit_test_table"));
+  std::ifstream in("/tmp/mib_test_results/unit_test_table.csv");
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "a,b");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1,2");
+  ::unsetenv("MIB_RESULTS_DIR");
+}
+
+TEST(Report, Selectors) {
+  engine::RunMetrics m;
+  m.throughput_tok_s = 5.0;
+  m.ttft_s = 0.25;
+  m.itl_s = 0.001;
+  m.e2e_s = 2.0;
+  m.samples_per_s = 3.0;
+  EXPECT_DOUBLE_EQ(throughput_of(m), 5.0);
+  EXPECT_DOUBLE_EQ(ttft_ms_of(m), 250.0);
+  EXPECT_DOUBLE_EQ(itl_ms_of(m), 1.0);
+  EXPECT_DOUBLE_EQ(e2e_s_of(m), 2.0);
+  EXPECT_DOUBLE_EQ(samples_per_s_of(m), 3.0);
+}
+
+}  // namespace
+}  // namespace mib::core

@@ -1,0 +1,75 @@
+#include "engine/disagg.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "models/zoo.h"
+
+namespace mib::engine {
+namespace {
+
+EngineConfig base(const char* model = "OLMoE-1B-7B") {
+  core::Scenario s;
+  s.model = model;
+  return s.engine_config();
+}
+
+TEST(Disagg, MetricsConsistent) {
+  DisaggSimulator sim(base(), DisaggConfig{1, 1});
+  const auto m = sim.run(16, 1024, 1024);
+  EXPECT_GT(m.ttft_s, m.kv_transfer_s);
+  EXPECT_GT(m.e2e_s, m.ttft_s);
+  EXPECT_GT(m.throughput_tok_s, 0.0);
+  EXPECT_NEAR(m.throughput_tok_s, 16.0 * 2048 / m.e2e_s, 1e-6);
+  EXPECT_GT(m.colocated_throughput_tok_s, 0.0);
+}
+
+TEST(Disagg, KvTransferScalesWithPromptAndKvLayout) {
+  DisaggSimulator sim(base("Qwen1.5-MoE-A2.7B"), DisaggConfig{1, 1});
+  const auto short_p = sim.run(8, 256, 256);
+  const auto long_p = sim.run(8, 2048, 256);
+  EXPECT_NEAR(long_p.kv_transfer_s / short_p.kv_transfer_s, 8.0, 0.2);
+
+  // MLA ships a compressed cache: far cheaper transfer per token.
+  DisaggSimulator mla(base("DeepSeek-V2-Lite"), DisaggConfig{1, 1});
+  const auto m = mla.run(8, 2048, 256);
+  EXPECT_LT(m.kv_transfer_s, long_p.kv_transfer_s / 3.0);
+}
+
+TEST(Disagg, FasterLinkCutsTtft) {
+  DisaggConfig ib{1, 1, hw::ib_ndr400()};
+  DisaggConfig nv{1, 1, hw::nvlink4()};
+  const auto slow = DisaggSimulator(base("Qwen1.5-MoE-A2.7B"), ib)
+                        .run(32, 2048, 128);
+  const auto fast = DisaggSimulator(base("Qwen1.5-MoE-A2.7B"), nv)
+                        .run(32, 2048, 128);
+  EXPECT_GT(slow.kv_transfer_s, fast.kv_transfer_s);
+  EXPECT_GT(slow.ttft_s, fast.ttft_s);
+}
+
+TEST(Disagg, MorePrefillDevicesCutTtftOnly) {
+  DisaggSimulator small(base(), DisaggConfig{1, 1});
+  DisaggSimulator big(base(), DisaggConfig{4, 1});
+  const auto a = small.run(32, 2048, 512);
+  const auto b = big.run(32, 2048, 512);
+  EXPECT_LT(b.ttft_s, a.ttft_s);
+  EXPECT_NEAR(b.itl_s, a.itl_s, a.itl_s * 0.02);  // decode pool unchanged
+}
+
+TEST(Disagg, MoreDecodeDevicesCutItl) {
+  DisaggSimulator small(base(), DisaggConfig{1, 1});
+  DisaggSimulator big(base(), DisaggConfig{1, 4});
+  const auto a = small.run(32, 1024, 1024);
+  const auto b = big.run(32, 1024, 1024);
+  EXPECT_LT(b.itl_s, a.itl_s);
+}
+
+TEST(Disagg, Validation) {
+  EXPECT_THROW(DisaggSimulator(base(), DisaggConfig{0, 1}), Error);
+  EXPECT_THROW(DisaggSimulator(base(), DisaggConfig{1, 0}), Error);
+  DisaggConfig bad{1, 1, hw::LinkSpec{"none", 0.0, 0.0}};
+  EXPECT_THROW(DisaggSimulator(base(), bad), Error);
+}
+
+}  // namespace
+}  // namespace mib::engine

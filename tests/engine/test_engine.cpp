@@ -1,0 +1,136 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace mib::engine {
+namespace {
+
+EngineConfig cfg(const models::ModelConfig& m, int devices = 1) {
+  EngineConfig c;
+  c.model = m;
+  c.cluster = hw::Cluster::h100_node(devices);
+  if (devices > 1) c.plan = parallel::tp_plan(devices);
+  return c;
+}
+
+TEST(SimEngine, MetricsAreConsistent) {
+  const SimEngine eng(cfg(models::olmoe_1b_7b()));
+  const auto m = eng.run(8, 512, 512);
+  EXPECT_GT(m.ttft_s, 0.0);
+  EXPECT_GT(m.e2e_s, m.ttft_s);
+  // Eq. (2): throughput = batch * (in + out) / e2e.
+  EXPECT_NEAR(m.throughput_tok_s, 8.0 * 1024 / m.e2e_s, 1e-6);
+  // Eq. (1): ITL = (e2e - ttft) / (batch * out - 1).
+  EXPECT_NEAR(m.itl_s, (m.e2e_s - m.ttft_s) / (8.0 * 512 - 1), 1e-9);
+  EXPECT_NEAR(m.samples_per_s, 8.0 / m.e2e_s, 1e-9);
+  EXPECT_EQ(m.waves, 1);
+}
+
+TEST(SimEngine, SingleOutputTokenMeansNoDecode) {
+  const SimEngine eng(cfg(models::olmoe_1b_7b()));
+  const auto m = eng.run(4, 256, 1);
+  EXPECT_NEAR(m.e2e_s, m.ttft_s, 1e-12);
+  // No decode steps: (e2e - ttft) / (B*out - 1) is exactly zero.
+  EXPECT_DOUBLE_EQ(m.itl_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.decode_tok_s, 0.0);
+}
+
+TEST(SimEngine, ThroughputImprovesWithBatch) {
+  const SimEngine eng(cfg(models::deepseek_v2_lite()));
+  double prev = 0.0;
+  for (int b : {1, 16, 32, 64}) {
+    const auto m = eng.run(b, 1024, 1024);
+    EXPECT_GT(m.throughput_tok_s, prev) << "batch " << b;
+    prev = m.throughput_tok_s;
+  }
+}
+
+TEST(SimEngine, ShorterSequencesHigherThroughputAtLargeBatch) {
+  const SimEngine eng(cfg(models::deepseek_v2_lite()));
+  const auto short_seq = eng.run(64, 128, 128);
+  const auto long_seq = eng.run(64, 2048, 2048);
+  EXPECT_GT(short_seq.throughput_tok_s, long_seq.throughput_tok_s);
+}
+
+TEST(SimEngine, WavesTriggerUnderKvPressure) {
+  // Qwen1.5-MoE has fat MHA KV: batch 128 at 4k context exceeds one H100.
+  const SimEngine eng(cfg(models::qwen15_moe_a27b()));
+  const auto m = eng.run(128, 2048, 2048);
+  EXPECT_GT(m.waves, 1);
+  const int fits = eng.max_batch_without_waves(2048, 2048);
+  EXPECT_LT(fits, 128);
+  const auto small = eng.run(std::max(1, fits / 2), 2048, 2048);
+  EXPECT_EQ(small.waves, 1);
+}
+
+TEST(SimEngine, WaveSchedulingCostsThroughput) {
+  auto c = cfg(models::qwen15_moe_a27b());
+  const SimEngine eng(c);
+  const auto waved = eng.run(128, 2048, 2048);
+  const auto single = eng.run(64, 2048, 2048);
+  // Two waves of 64 take ~2x one wave: total throughput does not double.
+  EXPECT_LT(waved.throughput_tok_s, 1.3 * single.throughput_tok_s);
+}
+
+TEST(SimEngine, WaveSchedulingCanBeDisabled) {
+  auto c = cfg(models::qwen15_moe_a27b());
+  c.allow_wave_scheduling = false;
+  const SimEngine eng(c);
+  EXPECT_THROW(eng.run(128, 2048, 2048), OutOfMemoryError);
+}
+
+TEST(SimEngine, OomWhenWeightsDontFit) {
+  const SimEngine eng(cfg(models::mixtral_8x7b(), 1));
+  EXPECT_THROW(eng.run(1, 128, 128), OutOfMemoryError);
+}
+
+TEST(SimEngine, MixtralRunsOnFourGpus) {
+  const SimEngine eng(cfg(models::mixtral_8x7b(), 4));
+  const auto m = eng.run(16, 1024, 1024);
+  EXPECT_GT(m.throughput_tok_s, 0.0);
+}
+
+TEST(SimEngine, ImagesIncreaseTtft) {
+  const SimEngine eng(cfg(models::deepseek_vl2_tiny()));
+  const auto text = eng.run(8, 512, 512, 0);
+  const auto vlm = eng.run(8, 512, 512, 1);
+  EXPECT_GT(vlm.ttft_s, text.ttft_s);
+  EXPECT_LT(vlm.samples_per_s, text.samples_per_s);
+}
+
+TEST(SimEngine, BreakdownsAccumulate) {
+  const SimEngine eng(cfg(models::deepseek_v2_lite()));
+  const auto m = eng.run(8, 512, 512);
+  EXPECT_GT(m.prefill_breakdown.total(), 0.0);
+  EXPECT_GT(m.decode_breakdown.total(), 0.0);
+  EXPECT_NEAR(m.prefill_breakdown.total() + m.decode_breakdown.total(),
+              m.e2e_s, m.e2e_s * 0.01);
+  EXPECT_GT(m.decode_breakdown.ffn, 0.0);
+  EXPECT_GT(m.memory.weights, 0.0);
+}
+
+TEST(SimEngine, DecodeTokRateSaneVsItl) {
+  const SimEngine eng(cfg(models::olmoe_1b_7b()));
+  const auto m = eng.run(16, 1024, 1024);
+  // decode_tok_s = batch * (out-1) / decode_time and
+  // itl = decode_time / (batch*out - 1) are near-reciprocal.
+  EXPECT_NEAR(m.decode_tok_s * m.itl_s, 1.0, 0.01);
+}
+
+TEST(SimEngine, InvalidArgs) {
+  const SimEngine eng(cfg(models::olmoe_1b_7b()));
+  EXPECT_THROW(eng.run(0, 128, 128), Error);
+  EXPECT_THROW(eng.run(1, 0, 128), Error);
+  EXPECT_THROW(eng.run(1, 128, 0), Error);
+}
+
+TEST(SimEngine, DeterministicResults) {
+  const SimEngine a(cfg(models::olmoe_1b_7b()));
+  const SimEngine b(cfg(models::olmoe_1b_7b()));
+  EXPECT_DOUBLE_EQ(a.run(8, 512, 512).e2e_s, b.run(8, 512, 512).e2e_s);
+}
+
+}  // namespace
+}  // namespace mib::engine

@@ -1,0 +1,109 @@
+#include "engine/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mib::engine {
+namespace {
+
+TEST(PagedKvCache, BlocksForTokens) {
+  PagedKvCache c(100, 16);
+  EXPECT_EQ(c.blocks_for_tokens(0), 0u);
+  EXPECT_EQ(c.blocks_for_tokens(1), 1u);
+  EXPECT_EQ(c.blocks_for_tokens(16), 1u);
+  EXPECT_EQ(c.blocks_for_tokens(17), 2u);
+  EXPECT_EQ(c.blocks_for_tokens(160), 10u);
+}
+
+TEST(PagedKvCache, AllocatesLazily) {
+  PagedKvCache c(10, 16);
+  const int s = c.add_sequence();
+  EXPECT_EQ(c.used_blocks(), 0u);
+  EXPECT_TRUE(c.append_tokens(s, 10));
+  EXPECT_EQ(c.used_blocks(), 1u);
+  EXPECT_TRUE(c.append_tokens(s, 6));  // fills block exactly
+  EXPECT_EQ(c.used_blocks(), 1u);
+  EXPECT_TRUE(c.append_tokens(s, 1));
+  EXPECT_EQ(c.used_blocks(), 2u);
+  EXPECT_EQ(c.sequence_tokens(s), 17);
+  EXPECT_EQ(c.sequence_blocks(s), 2u);
+}
+
+TEST(PagedKvCache, RejectsWhenFullWithoutSideEffects) {
+  PagedKvCache c(2, 16);
+  const int s = c.add_sequence();
+  EXPECT_TRUE(c.append_tokens(s, 32));
+  EXPECT_EQ(c.free_blocks(), 0u);
+  EXPECT_FALSE(c.append_tokens(s, 1));
+  EXPECT_EQ(c.sequence_tokens(s), 32);  // unchanged
+  EXPECT_EQ(c.used_blocks(), 2u);
+}
+
+TEST(PagedKvCache, FreeReturnsBlocks) {
+  PagedKvCache c(4, 16);
+  const int a = c.add_sequence();
+  const int b = c.add_sequence();
+  EXPECT_TRUE(c.append_tokens(a, 32));
+  EXPECT_TRUE(c.append_tokens(b, 32));
+  EXPECT_EQ(c.free_blocks(), 0u);
+  c.free_sequence(a);
+  EXPECT_EQ(c.free_blocks(), 2u);
+  const int d = c.add_sequence();
+  EXPECT_TRUE(c.append_tokens(d, 32));
+}
+
+TEST(PagedKvCache, OccupancyTracksWaste) {
+  PagedKvCache c(10, 16);
+  const int s = c.add_sequence();
+  c.append_tokens(s, 1);  // 1 token in a 16-token block
+  EXPECT_NEAR(c.occupancy(), 1.0 / 16.0, 1e-12);
+  c.append_tokens(s, 15);
+  EXPECT_NEAR(c.occupancy(), 1.0, 1e-12);
+  EXPECT_NEAR(PagedKvCache(4, 16).occupancy(), 1.0, 1e-12);  // empty
+}
+
+TEST(PagedKvCache, CanAdmit) {
+  PagedKvCache c(4, 16);
+  EXPECT_TRUE(c.can_admit(64));
+  EXPECT_FALSE(c.can_admit(65));
+  const int s = c.add_sequence();
+  c.append_tokens(s, 33);  // 3 blocks
+  EXPECT_TRUE(c.can_admit(16));
+  EXPECT_FALSE(c.can_admit(17));
+}
+
+TEST(PagedKvCache, ManySequencesInterleaved) {
+  PagedKvCache c(64, 8);
+  std::vector<int> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(c.add_sequence());
+    EXPECT_TRUE(c.append_tokens(ids.back(), 8 + i));
+  }
+  // Free every other sequence; remaining state stays consistent.
+  std::size_t freed = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    freed += c.sequence_blocks(ids[i]);
+    c.free_sequence(ids[i]);
+  }
+  EXPECT_EQ(c.free_blocks(),
+            64u - (c.used_blocks()));
+  for (std::size_t i = 1; i < ids.size(); i += 2) {
+    EXPECT_EQ(c.sequence_tokens(ids[i]), 8 + static_cast<int>(i));
+  }
+}
+
+TEST(PagedKvCache, UnknownSequenceThrows) {
+  PagedKvCache c(4, 16);
+  EXPECT_THROW(c.append_tokens(99, 1), Error);
+  EXPECT_THROW(c.sequence_tokens(99), Error);
+  EXPECT_THROW(c.free_sequence(99), Error);
+}
+
+TEST(PagedKvCache, ConstructionValidation) {
+  EXPECT_THROW(PagedKvCache(0, 16), Error);
+  EXPECT_THROW(PagedKvCache(4, 0), Error);
+}
+
+}  // namespace
+}  // namespace mib::engine

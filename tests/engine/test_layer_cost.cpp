@@ -1,0 +1,225 @@
+#include "engine/layer_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "models/params.h"
+#include "models/zoo.h"
+
+namespace mib::engine {
+namespace {
+
+LayerCostModel make(const models::ModelConfig& m, int devices = 1,
+                    parallel::ParallelPlan plan = {}, CostConfig cost = {}) {
+  if (plan.devices() == 1 && devices > 1) plan = parallel::tp_plan(devices);
+  return LayerCostModel(m, hw::Cluster::h100_node(devices), plan, cost);
+}
+
+TEST(LayerCost, DecodeStepGrowsWithBatch) {
+  const auto lc = make(models::olmoe_1b_7b());
+  const double t1 = lc.decode_step(1, 1024).total();
+  const double t64 = lc.decode_step(64, 1024).total();
+  EXPECT_GT(t64, t1);
+  // But far sublinear: batching amortizes weight reads.
+  EXPECT_LT(t64, 32.0 * t1);
+}
+
+TEST(LayerCost, DecodeStepGrowsWithContext) {
+  const auto lc = make(models::olmoe_1b_7b());
+  EXPECT_GT(lc.decode_step(16, 8192).total(),
+            lc.decode_step(16, 512).total());
+}
+
+TEST(LayerCost, PrefillScalesWithSequenceLength) {
+  const auto lc = make(models::olmoe_1b_7b());
+  const double t512 = lc.prefill(8, 512).total();
+  const double t2048 = lc.prefill(8, 2048).total();
+  EXPECT_GT(t2048, 3.0 * t512);
+}
+
+TEST(LayerCost, TensorParallelSpeedsUpPrefill) {
+  const auto m = models::mixtral_8x7b();
+  const double t1 =
+      make(m, 1).prefill(16, 2048).total();
+  const double t4 = make(m, 4).prefill(16, 2048).total();
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(t4, t1 / 4.0);  // collectives cost something
+}
+
+TEST(LayerCost, FusedMoEFasterThanUnfused) {
+  CostConfig fused;
+  CostConfig unfused;
+  unfused.fused_moe = false;
+  const auto m = models::mixtral_8x7b();
+  const double tf = make(m, 4, parallel::tp_plan(4), fused)
+                        .decode_step(16, 2048)
+                        .total();
+  const double tu = make(m, 4, parallel::tp_plan(4), unfused)
+                        .decode_step(16, 2048)
+                        .total();
+  EXPECT_LT(tf, tu);
+}
+
+TEST(LayerCost, FP8FasterThanFP16) {
+  CostConfig fp8;
+  fp8.weight_dtype = DType::kFP8E4M3;
+  fp8.act_dtype = DType::kFP8E4M3;
+  fp8.kv_dtype = DType::kFP8E4M3;
+  const auto m = models::olmoe_1b_7b();
+  const double t8 =
+      make(m, 1, {}, fp8).decode_step(32, 2048).total();
+  const double t16 = make(m, 1).decode_step(32, 2048).total();
+  EXPECT_LT(t8, t16);
+}
+
+TEST(LayerCost, MoreActiveExpertsSlowDecode) {
+  auto m = models::mixtral_8x7b();
+  m.n_experts = 64;
+  m.expert_ffn = 3584;
+  m.top_k = 1;
+  const double t1 = make(m, 4).decode_step(16, 2048).total();
+  m.top_k = 8;
+  const double t8 = make(m, 4).decode_step(16, 2048).total();
+  EXPECT_GT(t8, t1);
+}
+
+TEST(LayerCost, RoutingSkewSlowsEpPrefill) {
+  // With a saturating workload (prefill) expert coverage is full either
+  // way, isolating the EP slowest-device penalty: a skewed router piles
+  // most tokens on one device's experts.
+  CostConfig skewed;
+  skewed.routing.zipf_s = 1.2;
+  CostConfig balanced;
+  const auto m = models::olmoe_1b_7b();
+  const auto ep = parallel::tp_ep_plan(4);
+  const double t_bal = make(m, 4, ep, balanced).prefill(32, 1024).total();
+  const double t_skew = make(m, 4, ep, skewed).prefill(32, 1024).total();
+  EXPECT_GT(t_skew, 1.2 * t_bal);
+  // Without EP the skew penalty disappears (experts are tensor-sliced, so
+  // every device sees every token regardless of routing).
+  const auto tp = parallel::tp_plan(4);
+  const double tp_bal = make(m, 4, tp, balanced).prefill(32, 1024).total();
+  const double tp_skew = make(m, 4, tp, skewed).prefill(32, 1024).total();
+  EXPECT_NEAR(tp_skew, tp_bal, tp_bal * 0.05);
+}
+
+TEST(LayerCost, PipelineDecodeGetsNoSpeedup) {
+  const auto m = models::olmoe_1b_7b();
+  const double t1 = make(m, 1).decode_step(8, 1024).total();
+  const double t_pp =
+      make(m, 4, parallel::pp_plan(4)).decode_step(8, 1024).total();
+  EXPECT_GE(t_pp, t1 * 0.99);  // boundary transfers make it >=
+}
+
+TEST(LayerCost, PipelinePrefillGetsSomeSpeedup) {
+  const auto m = models::olmoe_1b_7b();
+  const double t1 = make(m, 1).prefill(16, 2048).total();
+  const double t_pp =
+      make(m, 4, parallel::pp_plan(4)).prefill(16, 2048).total();
+  EXPECT_LT(t_pp, t1);
+  EXPECT_GT(t_pp, t1 / 4.0);  // bubble keeps it off linear
+}
+
+TEST(LayerCost, BreakdownComponentsNonNegativeAndSum) {
+  const auto lc = make(models::deepseek_v2_lite());
+  const auto b = lc.decode_step(16, 2048);
+  EXPECT_GE(b.attention, 0.0);
+  EXPECT_GE(b.ffn, 0.0);
+  EXPECT_GE(b.router, 0.0);
+  EXPECT_GE(b.comm, 0.0);
+  EXPECT_GE(b.head, 0.0);
+  EXPECT_GE(b.overhead, 0.0);
+  EXPECT_NEAR(b.total(),
+              b.attention + b.ffn + b.router + b.comm + b.head + b.vision +
+                  b.overhead + b.bubble,
+              1e-12);
+  EXPECT_GT(b.ffn, 0.0);
+  EXPECT_GT(b.router, 0.0);
+}
+
+TEST(LayerCost, DenseModelHasNoRouterCost) {
+  const auto lc = make(models::qwen3_1_7b());
+  EXPECT_DOUBLE_EQ(lc.decode_step(8, 1024).router, 0.0);
+}
+
+TEST(LayerCost, VisionTokensExtendPrompt) {
+  const auto m = models::deepseek_vl2_tiny();
+  const auto lc = make(m);
+  EXPECT_EQ(lc.effective_prompt_tokens(128, 0), 128);
+  EXPECT_EQ(lc.effective_prompt_tokens(128, 1),
+            128 + m.vision->patch_tokens);
+  EXPECT_EQ(lc.effective_prompt_tokens(128, 2),
+            128 + 2 * m.vision->patch_tokens);
+}
+
+TEST(LayerCost, VisionEncoderCostsTime) {
+  const auto lc = make(models::deepseek_vl2_tiny());
+  EXPECT_DOUBLE_EQ(lc.vision_encode_time(0), 0.0);
+  const double one = lc.vision_encode_time(1);
+  EXPECT_GT(one, 0.0);
+  EXPECT_GT(lc.vision_encode_time(8), 4.0 * one);
+  const auto with_img = lc.prefill(4, 256, 1);
+  const auto without = lc.prefill(4, 256, 0);
+  EXPECT_GT(with_img.vision, 0.0);
+  EXPECT_GT(with_img.total(), without.total());
+}
+
+TEST(LayerCost, TextModelRejectsImages) {
+  const auto lc = make(models::olmoe_1b_7b());
+  EXPECT_THROW(lc.effective_prompt_tokens(128, 1), Error);
+  EXPECT_THROW(lc.vision_encode_time(1), Error);
+}
+
+TEST(LayerCost, SwEfficiencySlowsKernelsNotComm) {
+  auto fast = models::mixtral_8x7b();
+  auto slow = fast;
+  slow.sw_efficiency = 0.5;
+  const auto bf = make(fast, 4).decode_step(16, 1024);
+  const auto bs = make(slow, 4).decode_step(16, 1024);
+  EXPECT_NEAR(bs.ffn, bf.ffn * 2.0, bf.ffn * 0.01);
+  EXPECT_DOUBLE_EQ(bs.comm, bf.comm);
+}
+
+TEST(LayerCost, PlanLargerThanClusterRejected) {
+  EXPECT_THROW(LayerCostModel(models::olmoe_1b_7b(),
+                              hw::Cluster::h100_node(2),
+                              parallel::tp_plan(4), CostConfig{}),
+               Error);
+}
+
+TEST(LayerCost, CS3DecodeBeatsH100) {
+  const auto m = models::llama4_scout_17b_16e();
+  CostConfig c;
+  const LayerCostModel h100(m, hw::Cluster::h100_node(8),
+                            parallel::tp_plan(8), c);
+  const LayerCostModel cs3(m, hw::Cluster::cs3_system(),
+                           parallel::ParallelPlan{}, c);
+  EXPECT_LT(cs3.decode_step(1, 4096).total(),
+            h100.decode_step(1, 4096).total());
+}
+
+// Parameterized: decode step monotone in context for every zoo LLM.
+class DecodeMonotoneCtx
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DecodeMonotoneCtx, StepTimeNondecreasingInCtx) {
+  const auto m = models::model_by_name(GetParam());
+  const int devices =
+      models::weight_bytes(m, DType::kFP16) > 70e9 ? 4 : 1;
+  const auto lc = make(m, devices);
+  double prev = 0.0;
+  for (double ctx : {256.0, 1024.0, 4096.0, 16384.0}) {
+    const double t = lc.decode_step(8, ctx).total();
+    EXPECT_GE(t, prev) << "ctx " << ctx;
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZooLLMs, DecodeMonotoneCtx,
+                         ::testing::Values("Mixtral-8x7B",
+                                           "Qwen1.5-MoE-A2.7B",
+                                           "Qwen3-30B-A3B",
+                                           "DeepSeek-V2-Lite", "Phi-3.5-MoE",
+                                           "OLMoE-1B-7B", "Qwen3-8B"));
+
+}  // namespace
+}  // namespace mib::engine

@@ -1,0 +1,135 @@
+#include "engine/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "models/params.h"
+#include "models/zoo.h"
+
+namespace mib::engine {
+namespace {
+
+using models::deepseek_v2_lite;
+using models::mixtral_8x7b;
+using models::olmoe_1b_7b;
+using parallel::ParallelPlan;
+
+MemoryModel make(const models::ModelConfig& m, ParallelPlan p,
+                 DType w = DType::kFP16) {
+  return MemoryModel(m, p, w, DType::kFP16, DType::kFP16);
+}
+
+TEST(MemoryModel, WeightsShardAcrossDevices) {
+  const auto m = mixtral_8x7b();
+  const double w1 = make(m, ParallelPlan{1, 1, false})
+                        .weight_bytes_per_device();
+  const double w4 = make(m, ParallelPlan{4, 1, false})
+                        .weight_bytes_per_device();
+  EXPECT_NEAR(w4, w1 / 4.0, w1 * 1e-9);
+  const double wpp = make(m, ParallelPlan{1, 4, false})
+                         .weight_bytes_per_device();
+  EXPECT_NEAR(wpp, w1 / 4.0, w1 * 1e-9);
+}
+
+TEST(MemoryModel, MixtralFp16NeedsMultipleH100s) {
+  const auto m = mixtral_8x7b();
+  const auto dev = hw::h100_sxm5();
+  // ~93 GiB of fp16 weights: a single 80 GiB H100 OOMs.
+  EXPECT_THROW(make(m, ParallelPlan{1, 1, false}).check(1, 128, 128, dev),
+               OutOfMemoryError);
+  // TP2 fits.
+  make(m, ParallelPlan{2, 1, false}).check(1, 128, 128, dev);
+}
+
+TEST(MemoryModel, Fp8HalvesWeightFootprint) {
+  const auto m = mixtral_8x7b();
+  const double fp16 = make(m, ParallelPlan{1, 1, false}, DType::kFP16)
+                          .weight_bytes_per_device();
+  const double fp8 = make(m, ParallelPlan{1, 1, false}, DType::kFP8E4M3)
+                         .weight_bytes_per_device();
+  EXPECT_NEAR(fp8 / fp16, 0.5, 0.01);
+}
+
+TEST(MemoryModel, MlaKvIsCompressedAndTpReplicated) {
+  const auto ds = deepseek_v2_lite();
+  const auto mm1 = make(ds, ParallelPlan{1, 1, false});
+  const auto mm2 = make(ds, ParallelPlan{2, 1, false});
+  // MLA latent replicates across TP: per-token-per-device KV unchanged.
+  EXPECT_DOUBLE_EQ(mm1.kv_bytes_per_token_per_device(),
+                   mm2.kv_bytes_per_token_per_device());
+  // 1152 bytes/layer * 27 layers.
+  EXPECT_DOUBLE_EQ(mm1.kv_bytes_per_token_per_device(), 1152.0 * 27);
+}
+
+TEST(MemoryModel, GqaKvShardsAcrossTp) {
+  const auto m = mixtral_8x7b();
+  const auto mm1 = make(m, ParallelPlan{1, 1, false});
+  const auto mm4 = make(m, ParallelPlan{4, 1, false});
+  EXPECT_NEAR(mm4.kv_bytes_per_token_per_device(),
+              mm1.kv_bytes_per_token_per_device() / 4.0, 1e-9);
+  // Sharding saturates at one KV head per rank (8 heads).
+  const auto mm8 = make(m, ParallelPlan{8, 1, false});
+  const auto mm8b = MemoryModel(m, ParallelPlan{8, 1, false}, DType::kFP16,
+                                DType::kFP16, DType::kFP16);
+  EXPECT_DOUBLE_EQ(mm8.kv_bytes_per_token_per_device(),
+                   mm8b.kv_bytes_per_token_per_device());
+  EXPECT_NEAR(mm8.kv_bytes_per_token_per_device(),
+              mm1.kv_bytes_per_token_per_device() / 8.0, 1e-9);
+}
+
+TEST(MemoryModel, BreakdownComposes) {
+  const auto m = olmoe_1b_7b();
+  const auto mm = make(m, ParallelPlan{1, 1, false});
+  const auto b = mm.breakdown(8, 4096, 4096);
+  EXPECT_GT(b.weights, 0.0);
+  EXPECT_GT(b.kv_cache, 0.0);
+  EXPECT_GT(b.activations, 0.0);
+  EXPECT_DOUBLE_EQ(b.total(), b.weights + b.kv_cache + b.activations);
+  EXPECT_NEAR(b.kv_cache,
+              8.0 * 4096 * mm.kv_bytes_per_token_per_device(), 1.0);
+}
+
+TEST(MemoryModel, MaxConcurrentSeqsMonotone) {
+  const auto m = olmoe_1b_7b();
+  const auto mm = make(m, ParallelPlan{1, 1, false});
+  const auto dev = hw::h100_sxm5();
+  const int at_2k = mm.max_concurrent_seqs(2048, 2048, dev);
+  const int at_8k = mm.max_concurrent_seqs(8192, 2048, dev);
+  EXPECT_GT(at_2k, at_8k);
+  EXPECT_GT(at_8k, 0);
+}
+
+TEST(MemoryModel, MaxConcurrentSeqsZeroWhenWeightsDontFit) {
+  const auto m = mixtral_8x7b();
+  const auto mm = make(m, ParallelPlan{1, 1, false});
+  EXPECT_EQ(mm.max_concurrent_seqs(2048, 2048, hw::h100_sxm5()), 0);
+}
+
+TEST(MemoryModel, ActivationWatermarkScalesWithTokens) {
+  const auto m = olmoe_1b_7b();
+  const auto mm = make(m, ParallelPlan{1, 1, false});
+  EXPECT_NEAR(mm.activation_bytes(2000), 2.0 * mm.activation_bytes(1000),
+              1e-6);
+}
+
+TEST(MemoryModel, EpKeepsWholeExpertActivations) {
+  const auto m = olmoe_1b_7b();
+  const double tp = make(m, ParallelPlan{4, 1, false}).activation_bytes(1024);
+  const double ep = make(m, ParallelPlan{4, 1, true}).activation_bytes(1024);
+  EXPECT_GT(ep, tp);  // whole experts -> wider transient per token
+}
+
+TEST(MemoryModel, OomMessageCarriesSizes) {
+  const auto m = mixtral_8x7b();
+  const auto mm = make(m, ParallelPlan{1, 1, false});
+  try {
+    mm.check(1, 2048, 2048, hw::h100_sxm5());
+    FAIL() << "expected OOM";
+  } catch (const OutOfMemoryError& e) {
+    EXPECT_GT(e.required_gib(), e.available_gib());
+    EXPECT_NE(std::string(e.what()).find("Mixtral"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mib::engine

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "engine/kv_cache.h"
+
+namespace mib::engine {
+namespace {
+
+TEST(PrefixCache, SecondSequenceSharesBlocks) {
+  PagedKvCache c(100, 16);
+  const int a = c.add_sequence_with_prefix(0xABCD, 64);  // miss: 4 blocks
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(c.used_blocks(), 4u);
+  EXPECT_EQ(c.sequence_tokens(a), 64);
+
+  const int b = c.add_sequence_with_prefix(0xABCD, 64);  // hit: 0 new blocks
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(c.used_blocks(), 4u);
+  EXPECT_EQ(c.sequence_tokens(b), 64);
+  EXPECT_TRUE(c.prefix_cached(0xABCD));
+}
+
+TEST(PrefixCache, GrowthPastPrefixIsPrivate) {
+  PagedKvCache c(100, 16);
+  const int a = c.add_sequence_with_prefix(7, 32);  // 2 shared blocks
+  const int b = c.add_sequence_with_prefix(7, 32);
+  EXPECT_TRUE(c.append_tokens(a, 16));  // 1 private block for a
+  EXPECT_TRUE(c.append_tokens(b, 16));  // 1 private block for b
+  EXPECT_EQ(c.used_blocks(), 2u + 1u + 1u);
+  EXPECT_EQ(c.sequence_blocks(a), 1u);  // private only
+  EXPECT_EQ(c.sequence_tokens(a), 48);
+}
+
+TEST(PrefixCache, FreeKeepsPrefixResidentUntilEviction) {
+  PagedKvCache c(10, 16);
+  const int a = c.add_sequence_with_prefix(42, 48);  // 3 blocks
+  c.free_sequence(a);
+  EXPECT_TRUE(c.prefix_cached(42));
+  EXPECT_EQ(c.reclaimable_blocks(), 3u);
+  EXPECT_EQ(c.used_blocks(), 3u);  // still held by the cache
+  // A later hit reuses it without allocation.
+  const int b = c.add_sequence_with_prefix(42, 48);
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(c.used_blocks(), 3u);
+  EXPECT_EQ(c.reclaimable_blocks(), 0u);  // referenced again
+}
+
+TEST(PrefixCache, EvictionFreesUnreferencedPrefixes) {
+  PagedKvCache c(6, 16);
+  const int a = c.add_sequence_with_prefix(1, 48);  // 3 blocks
+  c.free_sequence(a);
+  // A plain sequence needing more than the 3 free blocks triggers eviction
+  // through append_tokens.
+  const int b = c.add_sequence();
+  EXPECT_TRUE(c.append_tokens(b, 96));  // 6 blocks: must evict the prefix
+  EXPECT_FALSE(c.prefix_cached(1));
+  EXPECT_EQ(c.used_blocks(), 6u);
+}
+
+TEST(PrefixCache, ReferencedPrefixSurvivesPressure) {
+  PagedKvCache c(6, 16);
+  const int a = c.add_sequence_with_prefix(1, 48);  // 3 blocks, referenced
+  (void)a;
+  const int b = c.add_sequence();
+  EXPECT_FALSE(c.append_tokens(b, 96));  // cannot evict a live prefix
+  EXPECT_TRUE(c.prefix_cached(1));
+}
+
+TEST(PrefixCache, MissWithoutRoomReturnsMinusOne) {
+  PagedKvCache c(2, 16);
+  const int a = c.add_sequence();
+  c.append_tokens(a, 32);  // both blocks
+  EXPECT_EQ(c.add_sequence_with_prefix(9, 16), -1);
+}
+
+TEST(PrefixCache, OccupancyCountsSharedTokensOnce) {
+  PagedKvCache c(100, 16);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_GE(c.add_sequence_with_prefix(5, 64), 0);
+  }
+  // 4 sequences x 64 tokens backed by 4 blocks: occupancy stays 1.0 and
+  // never exceeds it.
+  EXPECT_NEAR(c.occupancy(), 1.0, 1e-12);
+  EXPECT_EQ(c.used_blocks(), 4u);
+}
+
+TEST(PrefixCache, HashCollisionDetected) {
+  PagedKvCache c(100, 16);
+  c.add_sequence_with_prefix(3, 32);
+  EXPECT_THROW(c.add_sequence_with_prefix(3, 64), Error);
+  EXPECT_THROW(c.add_sequence_with_prefix(0, 32), Error);
+}
+
+TEST(PrefixCache, SharingMultipliesAdmissionCapacity) {
+  // The headline effect: a 1024-token system prompt shared by every chat
+  // request lets ~blocks/64 more sequences fit.
+  PagedKvCache shared(128, 16);   // 2048-token pool
+  PagedKvCache isolated(128, 16);
+  int n_shared = 0, n_isolated = 0;
+  for (int i = 0; i < 64; ++i) {
+    const int id = shared.add_sequence_with_prefix(11, 1024);  // 64 blocks
+    if (id >= 0 && shared.append_tokens(id, 16)) ++n_shared;
+    const int jd = isolated.add_sequence();
+    if (isolated.append_tokens(jd, 1040)) {
+      ++n_isolated;
+    } else {
+      isolated.free_sequence(jd);
+    }
+  }
+  EXPECT_EQ(n_isolated, 1);   // 65 blocks each: only one fits
+  EXPECT_GT(n_shared, 30);    // prefix shared: 64 + n blocks total
+}
+
+}  // namespace
+}  // namespace mib::engine

@@ -1,0 +1,85 @@
+#include "hw/device.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace mib::hw {
+namespace {
+
+TEST(Device, H100Datasheet) {
+  const DeviceSpec d = h100_sxm5();
+  EXPECT_NEAR(d.peak_flops_16 / kTFLOPS, 989.4, 0.1);
+  EXPECT_NEAR(d.peak_flops_8 / kTFLOPS, 1978.9, 0.1);
+  EXPECT_NEAR(d.mem_bytes / kGiB, 80.0, 1e-9);
+  EXPECT_NEAR(d.mem_bw / kTB, 3.35, 1e-9);
+  EXPECT_EQ(d.sm_count, 132);
+}
+
+TEST(Device, FP8DoublesPeakOnH100) {
+  const DeviceSpec d = h100_sxm5();
+  EXPECT_NEAR(d.peak_flops(DType::kFP8E4M3) / d.peak_flops(DType::kFP16),
+              2.0, 0.01);
+}
+
+TEST(Device, Int4FallsBackTo16BitMath) {
+  const DeviceSpec d = h100_sxm5();
+  EXPECT_DOUBLE_EQ(d.peak_flops(DType::kINT4), d.peak_flops_16);
+}
+
+TEST(Device, FP32UsesVectorPeak) {
+  const DeviceSpec d = h100_sxm5();
+  EXPECT_LT(d.peak_flops(DType::kFP32), d.peak_flops_16);
+}
+
+TEST(Device, UsableMemoryFraction) {
+  const DeviceSpec d = h100_sxm5();
+  EXPECT_NEAR(d.usable_mem(), 0.9 * 80.0 * kGiB, 1.0);
+}
+
+TEST(Device, CS3HasWaferBandwidth) {
+  const DeviceSpec d = cs3();
+  EXPECT_GT(d.mem_bw, 1000.0 * h100_sxm5().mem_bw);
+  EXPECT_GT(d.peak_flops_16, h100_sxm5().peak_flops_16);
+}
+
+TEST(Device, A100SlowerThanH100) {
+  EXPECT_LT(a100_sxm4().peak_flops_16, h100_sxm5().peak_flops_16);
+  EXPECT_LT(a100_sxm4().mem_bw, h100_sxm5().mem_bw);
+}
+
+TEST(Device, H200IsH100WithMoreMemory) {
+  const DeviceSpec h200 = h200_sxm();
+  EXPECT_DOUBLE_EQ(h200.peak_flops_16, h100_sxm5().peak_flops_16);
+  EXPECT_GT(h200.mem_bw, h100_sxm5().mem_bw);
+  EXPECT_NEAR(h200.mem_bytes / kGiB, 141.0, 1e-9);
+}
+
+TEST(Device, B200LeadsEveryAxis) {
+  const DeviceSpec b200 = b200_sxm();
+  EXPECT_GT(b200.peak_flops_16, 2.0 * h100_sxm5().peak_flops_16);
+  EXPECT_GT(b200.mem_bw, h200_sxm().mem_bw);
+  EXPECT_GT(b200.mem_bytes, h200_sxm().mem_bytes);
+  EXPECT_NEAR(b200.peak_flops(DType::kFP8E4M3) / b200.peak_flops_16, 2.0,
+              0.01);
+}
+
+TEST(Device, BoardPowerPresets) {
+  EXPECT_DOUBLE_EQ(h100_sxm5().tdp_watts, 700.0);
+  EXPECT_DOUBLE_EQ(a100_sxm4().tdp_watts, 400.0);
+  EXPECT_DOUBLE_EQ(b200_sxm().tdp_watts, 1000.0);
+  EXPECT_GT(cs3().tdp_watts, 10000.0);  // full wafer-scale system
+}
+
+TEST(Device, LookupByName) {
+  EXPECT_EQ(device_by_name("h100").name, h100_sxm5().name);
+  EXPECT_EQ(device_by_name("H100-SXM5-80GB").name, h100_sxm5().name);
+  EXPECT_EQ(device_by_name("cs-3").name, cs3().name);
+  EXPECT_EQ(device_by_name("h200").name, h200_sxm().name);
+  EXPECT_EQ(device_by_name("B200").name, b200_sxm().name);
+  EXPECT_EQ(device_by_name("A100").name, a100_sxm4().name);
+  EXPECT_THROW(device_by_name("tpu-v5"), ConfigError);
+}
+
+}  // namespace
+}  // namespace mib::hw

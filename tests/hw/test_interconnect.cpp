@@ -1,0 +1,115 @@
+#include "hw/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "hw/cluster.h"
+
+namespace mib::hw {
+namespace {
+
+TEST(Interconnect, SingleRankCollectivesAreFree) {
+  const Interconnect ic(nvlink4());
+  EXPECT_DOUBLE_EQ(ic.allreduce(1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ic.allgather(1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ic.reduce_scatter(1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ic.all_to_all(1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ic.broadcast(1e9, 1), 0.0);
+}
+
+TEST(Interconnect, ZeroBytesAreFree) {
+  const Interconnect ic(nvlink4());
+  EXPECT_DOUBLE_EQ(ic.allreduce(0.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(ic.p2p(0.0), 0.0);
+}
+
+TEST(Interconnect, RingAllreduceVolume) {
+  const Interconnect ic(nvlink4());
+  const double bytes = 1.0 * kGB;
+  const int n = 4;
+  const double expected =
+      2.0 * 3.0 / 4.0 * bytes / nvlink4().bandwidth +
+      2.0 * 3.0 * nvlink4().latency;
+  EXPECT_NEAR(ic.allreduce(bytes, n), expected, expected * 1e-12);
+}
+
+TEST(Interconnect, AllreduceApproachesTwiceBandwidthCost) {
+  const Interconnect ic(nvlink4());
+  const double bytes = 10.0 * kGB;
+  // As n grows the ring volume -> 2x bytes.
+  const double t8 = ic.allreduce(bytes, 8);
+  EXPECT_NEAR(t8, 2.0 * 7.0 / 8.0 * bytes / nvlink4().bandwidth, 1e-3);
+}
+
+TEST(Interconnect, LatencyTermScalesWithRanks) {
+  const Interconnect ic(nvlink4());
+  // Tiny message: latency-dominated.
+  const double t2 = ic.allreduce(8.0, 2);
+  const double t8 = ic.allreduce(8.0, 8);
+  EXPECT_NEAR(t8 / t2, 7.0, 0.2);
+}
+
+TEST(Interconnect, AllToAllKeepsLocalShard) {
+  const Interconnect ic(nvlink4());
+  const double bytes = 1.0 * kGB;
+  const double t = ic.all_to_all(bytes, 4);
+  EXPECT_NEAR(t, 0.75 * bytes / nvlink4().bandwidth +
+                     3.0 * nvlink4().latency,
+              1e-9);
+}
+
+TEST(Interconnect, AllgatherMovesOtherRanksShards) {
+  const Interconnect ic(nvlink4());
+  const double per_rank = 256.0 * kMB;
+  EXPECT_NEAR(ic.allgather(per_rank, 4),
+              3.0 * per_rank / nvlink4().bandwidth + 3.0 * nvlink4().latency,
+              1e-9);
+}
+
+TEST(Interconnect, BroadcastIsLogDepth) {
+  const Interconnect ic(nvlink4());
+  const double b = 1.0 * kGB;
+  EXPECT_NEAR(ic.broadcast(b, 8) / ic.broadcast(b, 2), 3.0, 0.01);
+}
+
+TEST(Interconnect, P2PHasLatencyFloor) {
+  const Interconnect ic(nvlink4());
+  EXPECT_GE(ic.p2p(1.0), nvlink4().latency);
+}
+
+TEST(Interconnect, LinkPresetsOrdering) {
+  EXPECT_GT(nvlink4().bandwidth, pcie_gen5().bandwidth);
+  EXPECT_GT(pcie_gen5().bandwidth, ib_ndr400().bandwidth);
+}
+
+TEST(Interconnect, InvalidArgsThrow) {
+  const Interconnect ic(nvlink4());
+  EXPECT_THROW(ic.allreduce(-1.0, 2), Error);
+  EXPECT_THROW(ic.allreduce(1.0, 0), Error);
+  EXPECT_THROW(Interconnect(LinkSpec{"bad", 0.0, 0.0}), Error);
+}
+
+TEST(Cluster, GroupRouting) {
+  const Cluster c(h100_sxm5(), 16, 8, nvlink4(), ib_ndr400());
+  EXPECT_EQ(c.nodes(), 2);
+  EXPECT_EQ(c.interconnect_for_group(8).link().name, "NVLink4");
+  EXPECT_EQ(c.interconnect_for_group(16).link().name, "IB-NDR400");
+  EXPECT_THROW(c.interconnect_for_group(17), Error);
+  EXPECT_THROW(c.interconnect_for_group(0), Error);
+}
+
+TEST(Cluster, H100NodeMemoryAggregates) {
+  const Cluster c = Cluster::h100_node(4);
+  EXPECT_NEAR(c.total_usable_mem(), 4 * h100_sxm5().usable_mem(), 1.0);
+  EXPECT_THROW(Cluster::h100_node(9), Error);
+  EXPECT_THROW(Cluster::h100_node(0), Error);
+}
+
+TEST(Cluster, CS3IsSingleDevice) {
+  const Cluster c = Cluster::cs3_system();
+  EXPECT_EQ(c.size(), 1);
+}
+
+}  // namespace
+}  // namespace mib::hw

@@ -1,0 +1,141 @@
+// Cross-validation: the functional components (router, transformer,
+// Monte-Carlo samplers) must reproduce the statistics the analytical cost
+// model assumes. These are the tests that tie the two halves of the suite
+// together.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "models/zoo.h"
+#include "moe/router.h"
+#include "moe/transformer.h"
+#include "parallel/expert_placement.h"
+
+namespace mib {
+namespace {
+
+// --- coverage: functional router vs expected_distinct_experts ---
+struct CoverageCase {
+  int experts;
+  int top_k;
+  int tokens;
+};
+
+class RouterCoverage : public ::testing::TestWithParam<CoverageCase> {};
+
+TEST_P(RouterCoverage, MatchesAnalyticExpectation) {
+  const auto p = GetParam();
+  // Average distinct-expert count over many independent batches.
+  const int trials = 60;
+  double distinct_acc = 0.0;
+  Rng seed_rng(99);
+  for (int t = 0; t < trials; ++t) {
+    moe::RouterConfig rc;
+    rc.hidden = 64;
+    rc.n_experts = p.experts;
+    rc.top_k = p.top_k;
+    Rng rng = seed_rng.split();
+    moe::Router router(rc, rng);
+    Rng xr = seed_rng.split();
+    const Tensor x = Tensor::randn(
+        {static_cast<std::size_t>(p.tokens), 64}, xr);
+    router.route(x);
+    int distinct = 0;
+    for (auto c : router.activation_counts()) distinct += c > 0;
+    distinct_acc += distinct;
+  }
+  const double empirical = distinct_acc / trials;
+  const double analytic = parallel::expected_distinct_experts(
+      p.experts, static_cast<double>(p.tokens) * p.top_k,
+      parallel::RoutingModel{});
+  // Router weights are random, not perfectly uniform: allow 15%.
+  EXPECT_NEAR(empirical, analytic, 0.15 * analytic + 1.0)
+      << "E=" << p.experts << " k=" << p.top_k << " tokens=" << p.tokens;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RouterCoverage,
+    ::testing::Values(CoverageCase{8, 2, 4}, CoverageCase{8, 2, 16},
+                      CoverageCase{64, 8, 4}, CoverageCase{64, 8, 16},
+                      CoverageCase{64, 1, 32}, CoverageCase{16, 4, 8}),
+    [](const ::testing::TestParamInfo<CoverageCase>& info) {
+      return "E" + std::to_string(info.param.experts) + "_k" +
+             std::to_string(info.param.top_k) + "_t" +
+             std::to_string(info.param.tokens);
+    });
+
+// --- the functional transformer's per-layer activation statistics feed the
+// same imbalance metric the EP model uses ---
+TEST(FunctionalVsAnalytic, TransformerLoadFactorNearAnalytic) {
+  moe::TransformerConfig cfg;
+  cfg.vocab = 128;
+  cfg.n_layers = 3;
+  cfg.hidden = 64;
+  cfg.n_heads = 4;
+  cfg.n_kv_heads = 4;
+  cfg.head_dim = 16;
+  cfg.n_experts = 16;
+  cfg.top_k = 2;
+  cfg.expert_ffn = 64;
+  moe::Transformer model(cfg, 31);
+  auto s = model.new_session();
+  Rng rng(7);
+  std::vector<int> prompt(256);
+  for (auto& t : prompt) {
+    t = static_cast<int>(rng.uniform_index(128));
+  }
+  model.forward(prompt, s);
+
+  // Group the 16 experts into 4 devices and compare the empirical max
+  // share with the analytic formula at the same assignment count.
+  const auto counts = model.activation_counts();
+  double worst_share = 0.0;
+  for (const auto& layer : counts) {
+    std::vector<double> group(4, 0.0);
+    double total = 0.0;
+    for (std::size_t e = 0; e < layer.size(); ++e) {
+      group[e / 4] += static_cast<double>(layer[e]);
+      total += static_cast<double>(layer[e]);
+    }
+    worst_share = std::max(
+        worst_share, *std::max_element(group.begin(), group.end()) / total);
+  }
+  const double analytic_share = parallel::expected_max_group_share(
+      16, 256.0 * 2, 4, parallel::RoutingModel{});
+  // Random (untrained) routers are mildly imbalanced; the analytic uniform
+  // share must land below the worst empirical layer but in its vicinity.
+  EXPECT_GT(worst_share, analytic_share * 0.8);
+  EXPECT_LT(worst_share, analytic_share * 3.0);
+}
+
+// --- multinomial max-load: Monte Carlo vs Gaussian approximation across a
+// grid (the EP slowest-device penalty) ---
+TEST(FunctionalVsAnalytic, MaxLoadFormulaAccurateAcrossGrid) {
+  Rng rng(17);
+  for (int groups : {2, 4, 8}) {
+    for (double n : {64.0, 512.0, 4096.0}) {
+      const int E = 64;
+      const auto probs =
+          parallel::expert_probabilities(E, parallel::RoutingModel{});
+      const int trials = 300;
+      double emp = 0.0;
+      for (int t = 0; t < trials; ++t) {
+        std::vector<int> load(groups, 0);
+        for (int d = 0; d < static_cast<int>(n); ++d) {
+          ++load[static_cast<int>(rng.uniform_index(E)) * groups / E];
+        }
+        emp += *std::max_element(load.begin(), load.end());
+      }
+      emp /= trials;
+      const double emp_factor = emp / (n / groups);
+      const double analytic = parallel::expected_max_group_load_factor(
+          E, n, groups, parallel::RoutingModel{});
+      EXPECT_NEAR(analytic, emp_factor, 0.12 * emp_factor)
+          << "g=" << groups << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mib

@@ -1,0 +1,354 @@
+// Integration tests: the paper's qualitative claims, asserted end-to-end
+// through the public Scenario API. Each test names the section/figure whose
+// claim it checks; EXPERIMENTS.md records the quantitative comparison.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/scenario.h"
+#include "engine/scheduler.h"
+#include "models/params.h"
+#include "moe/pruning.h"
+#include "specdec/specdec.h"
+#include "workload/generator.h"
+
+namespace mib {
+namespace {
+
+using core::Scenario;
+
+Scenario base(const std::string& model, int devices = 1) {
+  Scenario s;
+  s.model = model;
+  s.n_devices = devices;
+  return s;
+}
+
+// --- §4.1 / Fig. 3: OLMoE has the fastest TTFT among the LLMs. All six
+// models run on the same 4xH100 TP4 node (Mixtral/Phi cannot fit fewer). ---
+TEST(PaperClaims, Fig3OlmoeFastestTtft) {
+  double olmoe_ttft = 0.0;
+  double others_min = 1e18;
+  for (const auto& m : models::llm_models()) {
+    auto s = base(m.name, 4).with_batch(64).with_lengths(2048, 2048);
+    const double ttft = s.run().ttft_s;
+    if (m.name == "OLMoE-1B-7B") {
+      olmoe_ttft = ttft;
+    } else {
+      others_min = std::min(others_min, ttft);
+    }
+  }
+  EXPECT_LT(olmoe_ttft, others_min);
+}
+
+// --- §4.1 / Fig. 4: VLM latency gaps exceed the LLM ones; the Tiny model
+// leads the family. ---
+TEST(PaperClaims, Fig4VlmFamilyOrdering) {
+  auto run = [&](const std::string& name) {
+    auto s = base(name).with_batch(16).with_lengths(1024, 1024);
+    s.images_per_request = 1;
+    return s.run();
+  };
+  const auto tiny = run("DeepSeek-VL2-Tiny");
+  const auto small = run("DeepSeek-VL2-Small");
+  const auto b = run("DeepSeek-VL2");
+  EXPECT_LT(tiny.ttft_s, small.ttft_s);
+  EXPECT_LT(small.ttft_s, b.ttft_s);
+  EXPECT_LT(tiny.e2e_s, b.e2e_s);
+  // §4.1: >2.6x end-to-end gap across the family; allow a broad band.
+  EXPECT_GT(b.e2e_s / tiny.e2e_s, 1.8);
+}
+
+// --- §4.2 / Fig. 5: throughput decreases as TopK grows; large batches are
+// more sensitive. ---
+TEST(PaperClaims, Fig5TopKDegradesThroughput) {
+  for (const char* name : {"DeepSeek-V2-Lite", "Qwen1.5-MoE-A2.7B"}) {
+    const auto m = models::model_by_name(name);
+    auto thr = [&](int k, int batch) {
+      auto v = m;
+      v.top_k = k;
+      return base(name)
+          .with_model(v)
+          .with_batch(batch)
+          .with_lengths(1024, 1024)
+          .run()
+          .throughput_tok_s;
+    };
+    // Monotone non-increasing in TopK at every batch size.
+    for (int batch : {1, 16, 64}) {
+      double prev = 1e18;
+      for (int k : {1, 4, 16, m.n_experts / 2}) {
+        const double t = thr(k, batch);
+        EXPECT_LE(t, prev * 1.001) << name << " k=" << k << " b=" << batch;
+        prev = t;
+      }
+    }
+    // Degradation is "more pronounced at higher batch sizes" (§4.2): the
+    // absolute throughput drop grows with batch.
+    const double drop_small = thr(1, 1) - thr(16, 1);
+    const double drop_large = thr(1, 64) - thr(16, 64);
+    EXPECT_GT(drop_large, drop_small) << name;
+  }
+}
+
+// --- §4.3 / Fig. 6: batch scaling and sequence-length penalties. ---
+TEST(PaperClaims, Fig6BatchAndLengthTrends) {
+  const auto s = base("DeepSeek-V2-Lite");
+  const double t1 = s.with_batch(1).with_lengths(512, 512).run()
+                        .throughput_tok_s;
+  const double t128 = s.with_batch(128).with_lengths(512, 512).run()
+                          .throughput_tok_s;
+  EXPECT_GT(t128 / t1, 8.0);  // ">8x from batch 1 to 128"
+  const double short_len = s.with_batch(64).with_lengths(128, 128).run()
+                               .throughput_tok_s;
+  const double long_len = s.with_batch(64).with_lengths(2048, 2048).run()
+                              .throughput_tok_s;
+  EXPECT_GT(short_len, long_len);
+}
+
+// --- §5.2 / Fig. 7: throughput declines with FFN dim; the TopK gap widens
+// with FFN dim. ---
+TEST(PaperClaims, Fig7FfnScaling) {
+  auto thr = [&](int ffn, int topk) {
+    auto v = models::mixtral_8x7b();
+    v.expert_ffn = ffn;
+    v.top_k = topk;
+    return base("Mixtral-8x7B", 4)
+        .with_model(v)
+        .with_batch(16)
+        .with_lengths(2048, 2048)
+        .run()
+        .throughput_tok_s;
+  };
+  EXPECT_GT(thr(1792, 2), thr(14336, 2));
+  const double gap_small = 1.0 - thr(1792, 8) / thr(1792, 1);
+  const double gap_large = 1.0 - thr(14336, 8) / thr(14336, 1);
+  EXPECT_GT(gap_large, gap_small);
+}
+
+// --- §5.3 / Fig. 8: OOM boundaries appear at extreme expert counts. ---
+TEST(PaperClaims, Fig8OomAtExtremeConfigs) {
+  auto make = [&](int experts, int ffn) {
+    auto v = models::mixtral_8x7b();
+    v.n_experts = experts;
+    v.expert_ffn = ffn;
+    v.top_k = 2;
+    return base("Mixtral-8x7B", 4)
+        .with_model(v)
+        .with_batch(16)
+        .with_lengths(2048, 2048);
+  };
+  EXPECT_NO_THROW(make(8, 14336).run());
+  EXPECT_THROW(make(64, 14336).run(), OutOfMemoryError);
+  EXPECT_THROW(make(64, 7168).run(), OutOfMemoryError);
+  EXPECT_NO_THROW(make(64, 1792).run());
+}
+
+// --- §5.4 / Fig. 9: single-active-expert configs are much faster at large
+// FFN dims. ---
+TEST(PaperClaims, Fig9SingleExpertAdvantage) {
+  auto thr = [&](int experts, int ffn, int topk) {
+    auto v = models::mixtral_8x7b();
+    v.n_experts = experts;
+    v.expert_ffn = ffn;
+    v.top_k = topk;
+    return base("Mixtral-8x7B", 4)
+        .with_model(v)
+        .with_batch(16)
+        .with_lengths(2048, 2048)
+        .run()
+        .throughput_tok_s;
+  };
+  // 8-expert panel: expert coverage saturates either way at batch 16, so
+  // the gap is modest but real.
+  EXPECT_GT(thr(8, 14336, 1), 1.10 * thr(8, 14336, 8));
+  // 64-expert panel: coverage scales with TopK and the paper's 50-80%
+  // single-expert advantage appears.
+  EXPECT_GT(thr(64, 3584, 1), 1.5 * thr(64, 3584, 8));
+  // The TopK gap widens with FFN dimension (interaction claim, §5.4).
+  const double gap_small = thr(8, 1792, 1) / thr(8, 1792, 8);
+  const double gap_large = thr(8, 14336, 1) / thr(8, 14336, 8);
+  EXPECT_GT(gap_large, gap_small);
+}
+
+// --- §6.1 / Fig. 10: FP8 beats FP16 by a widening margin at larger
+// batches. ---
+TEST(PaperClaims, Fig10Fp8Advantage) {
+  // vLLM-style fp8 quantization: fp8 weights and activations, fp16 KV.
+  auto thr = [&](DType dt, int batch) {
+    auto s = base("Mixtral-8x7B", 4).with_batch(batch)
+                 .with_lengths(1024, 1024);
+    s.weight_dtype = dt;
+    s.act_dtype = dt;
+    return s.run().throughput_tok_s;
+  };
+  const double gain64 =
+      thr(DType::kFP8E4M3, 64) / thr(DType::kFP16, 64) - 1.0;
+  const double gain1 = thr(DType::kFP8E4M3, 1) / thr(DType::kFP16, 1) - 1.0;
+  EXPECT_GT(gain64, 0.10);  // paper: 25-30% at the largest batch
+  EXPECT_LT(gain64, 0.90);  // roofline upper bound (pure BW halving)
+  EXPECT_GT(gain64, gain1);  // advantage widens with batch (paper claim)
+}
+
+// --- §6.2 / Fig. 11: 50% pruning improves throughput; pruned geometry
+// still routes correctly (functional check). ---
+TEST(PaperClaims, Fig11PruningImprovesThroughput) {
+  const auto m = models::olmoe_1b_7b();
+  auto thr = [&](int experts, int ffn) {
+    auto v = m;
+    v.n_experts = experts;
+    v.expert_ffn = ffn;
+    v.top_k = std::min(v.top_k, experts);
+    return base(m.name, 4)
+        .with_model(v)
+        .with_batch(16)
+        .with_lengths(2048, 2048)
+        .run()
+        .throughput_tok_s;
+  };
+  const double baseline = thr(64, 1024);
+  const double inter50 = thr(moe::pruned_expert_count(64, 0.5), 1024);
+  const double intra50 = thr(64, moe::pruned_ffn_dim(1024, 0.5));
+  EXPECT_GT(inter50, baseline);
+  EXPECT_GT(intra50, baseline);
+}
+
+// --- §6.3 / Fig. 12: Qwen3-1.7B is the best draft model. ---
+TEST(PaperClaims, Fig12MediumDraftWins) {
+  auto thr = [&](const models::ModelConfig& draft) {
+    specdec::SpecDecConfig c;
+    auto t = base("Qwen3-30B-A3B", 1);
+    t.weight_dtype = DType::kFP8E4M3;  // target + draft share one H100
+    c.target = t.engine_config();
+    Scenario d;
+    d.model_override = draft;
+    d.weight_dtype = DType::kFP8E4M3;
+    c.draft = d.engine_config();
+    c.draft_tokens = 3;
+    return specdec::SpecDecSimulator(c)
+        .run(8, 1024, 1024)
+        .throughput_tok_s;
+  };
+  const double t06 = thr(models::qwen3_0_6b());
+  const double t17 = thr(models::qwen3_1_7b());
+  const double t4 = thr(models::qwen3_4b());
+  const double t8 = thr(models::qwen3_8b());
+  EXPECT_GT(t17, t06);
+  EXPECT_GT(t17, t4);
+  EXPECT_GT(t17, t8);
+}
+
+// --- §7.1 / Fig. 13: TP scales best; PP stays flat. ---
+TEST(PaperClaims, Fig13ParallelismOrdering) {
+  const auto m = models::olmoe_1b_7b();
+  auto thr = [&](parallel::ParallelPlan plan, int devices) {
+    return base(m.name, devices)
+        .with_plan(plan)
+        .with_batch(32)
+        .with_lengths(1024, 1024)
+        .run()
+        .throughput_tok_s;
+  };
+  const double tp1 = thr(parallel::tp_plan(1), 1);
+  const double tp4 = thr(parallel::tp_plan(4), 4);
+  const double tp4ep = thr(parallel::tp_ep_plan(4), 4);
+  const double pp4 = thr(parallel::pp_plan(4), 4);
+  EXPECT_GT(tp4 / tp1, 1.4);       // paper: >2x for Mixtral; OLMoE is
+                                   // smaller so framework overhead bites
+  EXPECT_GT(tp4, tp4ep);           // TP+EP scales worse than pure TP
+  EXPECT_GT(tp4, pp4);             // PP is the worst scaler
+  EXPECT_LT(pp4 / tp1, 1.4);       // PP nearly flat
+}
+
+// --- §7.2 / Fig. 14: Fused MoE wins, more at large batch. ---
+TEST(PaperClaims, Fig14FusedMoEGains) {
+  auto thr = [&](bool fused, int batch) {
+    return base("Mixtral-8x7B", 4)
+        .with_fused(fused)
+        .with_batch(batch)
+        .with_lengths(1024, 1024)
+        .run()
+        .throughput_tok_s;
+  };
+  const double gain = thr(true, 64) / thr(false, 64) - 1.0;
+  EXPECT_GT(gain, 0.05);  // paper: 15-20%
+  EXPECT_LT(gain, 0.60);
+}
+
+// --- §7.3 / Fig. 16: CS-3 latency grows more slowly with context. ---
+TEST(PaperClaims, Fig16Cs3FlatterLatency) {
+  auto lat = [&](const std::string& dev, int devices, int len) {
+    auto s = base("Llama-4-Scout-17B-16E", devices)
+                 .with_batch(1)
+                 .with_lengths(len, len);
+    s.device = dev;
+    if (dev == "h100") s.weight_dtype = DType::kFP8E4M3;  // fits 8xH100
+    else s.weight_dtype = DType::kFP8E4M3;  // replica stores FP8 weights
+    return s.run().e2e_s;
+  };
+  const double h100_growth = lat("h100", 8, 2048) / lat("h100", 8, 128);
+  const double cs3_growth = lat("cs3", 1, 2048) / lat("cs3", 1, 128);
+  EXPECT_LT(cs3_growth, h100_growth);
+  EXPECT_LT(lat("cs3", 1, 2048), lat("h100", 8, 2048));
+}
+
+// --- §8.1 / Fig. 17: OLMoE highest throughput; Phi-3.5-MoE slowest. ---
+TEST(PaperClaims, Fig17EfficiencyFrontier) {
+  double olmoe = 0.0, phi = 0.0, best_other = 0.0;
+  for (const auto& m : models::llm_models()) {
+    const auto thr = base(m.name, 4)
+                         .with_batch(32)
+                         .with_lengths(1024, 1024)
+                         .run()
+                         .throughput_tok_s;
+    if (m.name == "OLMoE-1B-7B") olmoe = thr;
+    else if (m.name == "Phi-3.5-MoE") phi = thr;
+    else best_other = std::max(best_other, thr);
+  }
+  EXPECT_GT(olmoe, best_other);
+  EXPECT_GT(olmoe, phi * 1.5);
+}
+
+// --- serving extension: continuous batching never loses to static gang
+// batching on a mixed-length trace, for every Table-1 LLM that fits one
+// H100 (the production framing of the paper's batching insight, §4.2). ---
+class ContinuousBatchingWins : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(ContinuousBatchingWins, HigherThroughputThanStatic) {
+  workload::TraceConfig tc;
+  tc.n_requests = 32;
+  tc.input = {64, 1024, 1.2};
+  tc.output = {32, 512, 1.2};
+  const auto trace = workload::generate_trace(tc);
+
+  engine::SchedulerConfig cont;
+  cont.max_batch = 16;
+  engine::SchedulerConfig stat = cont;
+  stat.continuous_batching = false;
+
+  const auto cfg = base(GetParam()).engine_config();
+  const auto c = engine::ServingSimulator(cfg, cont).run(trace);
+  const auto s = engine::ServingSimulator(cfg, stat).run(trace);
+  EXPECT_GE(c.throughput_tok_s, s.throughput_tok_s) << GetParam();
+  EXPECT_LE(c.ttft_s.percentile(95), s.ttft_s.percentile(95) * 1.05)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SingleGpuLLMs, ContinuousBatchingWins,
+                         ::testing::Values("OLMoE-1B-7B",
+                                           "Qwen1.5-MoE-A2.7B",
+                                           "DeepSeek-V2-Lite"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string n = i.param;
+                           for (char& ch : n) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace mib

@@ -1,0 +1,134 @@
+#include "models/config.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "models/zoo.h"
+
+namespace mib::models {
+namespace {
+
+ModelConfig tiny_moe() {
+  ModelConfig c;
+  c.name = "tiny";
+  c.n_layers = 2;
+  c.hidden = 64;
+  c.vocab = 1000;
+  c.attention = AttentionKind::kMHA;
+  c.n_heads = 4;
+  c.n_kv_heads = 4;
+  c.head_dim = 16;
+  c.n_experts = 4;
+  c.top_k = 2;
+  c.expert_ffn = 128;
+  return c;
+}
+
+TEST(ModelConfig, ValidMoEPasses) { tiny_moe().validate(); }
+
+TEST(ModelConfig, RejectsBadTopK) {
+  auto c = tiny_moe();
+  c.top_k = 5;
+  EXPECT_THROW(c.validate(), Error);
+  c.top_k = 0;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(ModelConfig, RejectsMHAWithFewerKvHeads) {
+  auto c = tiny_moe();
+  c.n_kv_heads = 2;  // MHA demands equality
+  EXPECT_THROW(c.validate(), Error);
+  c.attention = AttentionKind::kGQA;
+  c.validate();  // GQA accepts it
+}
+
+TEST(ModelConfig, RejectsIndivisibleKvHeads) {
+  auto c = tiny_moe();
+  c.attention = AttentionKind::kGQA;
+  c.n_kv_heads = 3;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(ModelConfig, MLARequiresRank) {
+  auto c = tiny_moe();
+  c.attention = AttentionKind::kMLA;
+  EXPECT_THROW(c.validate(), Error);
+  c.mla_kv_rank = 64;
+  c.mla_rope_dim = 16;
+  c.mla_qk_nope_dim = 16;
+  c.validate();
+}
+
+TEST(ModelConfig, DenseModelRejectsRoutingFields) {
+  ModelConfig c = tiny_moe();
+  c.n_experts = 0;
+  c.expert_ffn = 0;
+  c.dense_ffn = 256;
+  EXPECT_THROW(c.validate(), Error);  // top_k still set
+  c.top_k = 0;
+  c.validate();
+}
+
+TEST(ModelConfig, SharedExpertsNeedDim) {
+  auto c = tiny_moe();
+  c.n_shared_experts = 1;
+  EXPECT_THROW(c.validate(), Error);
+  c.shared_expert_ffn = 64;
+  c.validate();
+}
+
+TEST(ModelConfig, DenseLeadLayersNeedDenseFfn) {
+  auto c = tiny_moe();
+  c.n_dense_layers = 1;
+  EXPECT_THROW(c.validate(), Error);
+  c.dense_ffn = 128;
+  c.validate();
+  EXPECT_EQ(c.moe_layers(), 1);
+  EXPECT_EQ(c.dense_layers(), 1);
+}
+
+TEST(ModelConfig, ImageModalityNeedsVisionTower) {
+  auto c = tiny_moe();
+  c.modality = Modality::kTextImage;
+  EXPECT_THROW(c.validate(), Error);
+  c.vision = VisionTowerConfig{};
+  c.validate();
+}
+
+TEST(ModelConfig, KvBytesGqa) {
+  const auto c = mixtral_8x7b();
+  // 2 * 8 kv heads * 128 dim * 2 bytes
+  EXPECT_DOUBLE_EQ(c.kv_bytes_per_token_per_layer(DType::kFP16), 4096.0);
+  EXPECT_DOUBLE_EQ(c.kv_bytes_per_token_per_layer(DType::kFP8E4M3), 2048.0);
+}
+
+TEST(ModelConfig, KvBytesMlaIsCompressed) {
+  const auto c = deepseek_v2_lite();
+  // (512 latent + 64 rope) * 2 bytes = 1152 — far below GQA-equivalent.
+  EXPECT_DOUBLE_EQ(c.kv_bytes_per_token_per_layer(DType::kFP16), 1152.0);
+  const double gqa_equiv = 2.0 * 16 * 128 * 2.0;
+  EXPECT_LT(c.kv_bytes_per_token_per_layer(DType::kFP16), gqa_equiv / 2);
+}
+
+TEST(ModelConfig, ActiveExpertsIncludesShared) {
+  EXPECT_EQ(deepseek_v2_lite().active_experts(), 8);  // 6 routed + 2 shared
+  EXPECT_EQ(mixtral_8x7b().active_experts(), 2);
+}
+
+TEST(ModelConfig, SwEfficiencyBounds) {
+  auto c = tiny_moe();
+  c.sw_efficiency = 0.0;
+  EXPECT_THROW(c.validate(), Error);
+  c.sw_efficiency = 1.1;
+  EXPECT_THROW(c.validate(), Error);
+  c.sw_efficiency = 0.5;
+  c.validate();
+}
+
+TEST(ModelConfig, Names) {
+  EXPECT_EQ(attention_kind_name(AttentionKind::kMLA), "MLA");
+  EXPECT_EQ(modality_name(Modality::kTextImage), "Text+Image");
+}
+
+}  // namespace
+}  // namespace mib::models

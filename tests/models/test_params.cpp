@@ -1,0 +1,110 @@
+#include "models/params.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace mib::models {
+namespace {
+
+ModelConfig small() {
+  ModelConfig c;
+  c.name = "small";
+  c.n_layers = 2;
+  c.hidden = 8;
+  c.vocab = 100;
+  c.attention = AttentionKind::kGQA;
+  c.n_heads = 4;
+  c.n_kv_heads = 2;
+  c.head_dim = 4;
+  c.n_experts = 3;
+  c.top_k = 1;
+  c.expert_ffn = 16;
+  return c;
+}
+
+TEST(Params, AttentionHandComputed) {
+  // q: 8*4*4=128, k: 8*2*4=64, v: 64, o: 4*4*8=128 -> 384.
+  EXPECT_DOUBLE_EQ(attention_params_per_layer(small()), 384.0);
+}
+
+TEST(Params, ExpertHandComputed) {
+  // 3 matrices * 8 * 16 = 384.
+  EXPECT_DOUBLE_EQ(expert_params(small()), 384.0);
+}
+
+TEST(Params, RouterHandComputed) {
+  EXPECT_DOUBLE_EQ(router_params_per_layer(small()), 24.0);
+}
+
+TEST(Params, EmbeddingTiedVsUntied) {
+  auto c = small();
+  EXPECT_DOUBLE_EQ(embedding_params(c), 1600.0);
+  c.tied_embeddings = true;
+  EXPECT_DOUBLE_EQ(embedding_params(c), 800.0);
+}
+
+TEST(Params, TotalIsSumOfBreakdownPlusEmbedding) {
+  const auto c = small();
+  double layer_sum = 0.0;
+  for (const auto& lb : layer_breakdown(c)) layer_sum += lb.total();
+  EXPECT_DOUBLE_EQ(total_params(c), layer_sum + embedding_params(c));
+}
+
+TEST(Params, ActiveLessThanTotalForMoE) {
+  for (const auto& m : table1_models()) {
+    EXPECT_LT(active_params(m), total_params(m)) << m.name;
+  }
+}
+
+TEST(Params, ActiveEqualsTotalForDense) {
+  const auto d = qwen3_1_7b();
+  EXPECT_DOUBLE_EQ(active_params(d), total_params(d));
+}
+
+TEST(Params, BreakdownMoELayersCarryRouter) {
+  const auto bd = layer_breakdown(deepseek_v2_lite());
+  EXPECT_FALSE(bd[0].is_moe_layer);  // first layer dense
+  EXPECT_DOUBLE_EQ(bd[0].router, 0.0);
+  EXPECT_TRUE(bd[1].is_moe_layer);
+  EXPECT_GT(bd[1].router, 0.0);
+  EXPECT_GT(bd[1].ffn_total, bd[1].ffn_active);
+}
+
+TEST(Params, MoELayerDominatesParameters) {
+  // The paper's Fig. 1 headline: MoE FFN weights dominate totals.
+  for (const auto* name : {"Mixtral-8x7B", "OLMoE-1B-7B",
+                           "Qwen1.5-MoE-A2.7B"}) {
+    const auto m = model_by_name(name);
+    const auto bd = layer_breakdown(m);
+    double ffn = 0.0, total = 0.0;
+    for (const auto& lb : bd) {
+      ffn += lb.ffn_total;
+      total += lb.total();
+    }
+    EXPECT_GT(ffn / total, 0.85) << name;
+  }
+}
+
+TEST(Params, WeightBytesScaleWithDtype) {
+  const auto m = olmoe_1b_7b();
+  const double fp16 = weight_bytes(m, DType::kFP16);
+  const double fp8 = weight_bytes(m, DType::kFP8E4M3);
+  const double int4 = weight_bytes(m, DType::kINT4);
+  EXPECT_NEAR(fp8 / fp16, 0.5, 0.01);
+  EXPECT_NEAR(int4 / fp16, 0.25, 0.01);
+  EXPECT_NEAR(fp16, 2.0 * total_params(m), 0.01 * fp16);
+}
+
+TEST(Params, VisionTowerCounted) {
+  const auto vlm = deepseek_vl2_tiny();
+  auto no_vision = vlm;
+  no_vision.modality = Modality::kText;
+  no_vision.vision.reset();
+  EXPECT_GT(total_params(vlm), total_params(no_vision));
+  // SigLIP-400M-class tower.
+  EXPECT_NEAR(total_params(vlm) - total_params(no_vision), 0.4e9, 0.1e9);
+}
+
+}  // namespace
+}  // namespace mib::models

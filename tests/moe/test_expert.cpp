@@ -1,0 +1,144 @@
+#include "moe/expert.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mib::moe {
+namespace {
+
+TEST(Expert, HandComputedForward) {
+  Rng rng(1);
+  Expert e(2, 1, rng);
+  // Overwrite weights with known values:
+  // gate = [1, 0], up = [0, 2], down = [[3], [0]] (down is [hidden, ffn]).
+  e.mutable_w_gate().at(0, 0) = 1.0f;
+  e.mutable_w_gate().at(0, 1) = 0.0f;
+  e.mutable_w_up().at(0, 0) = 0.0f;
+  e.mutable_w_up().at(0, 1) = 2.0f;
+  e.mutable_w_down().at(0, 0) = 3.0f;
+  e.mutable_w_down().at(1, 0) = 0.0f;
+
+  const std::vector<float> x = {1.0f, 1.0f};
+  std::vector<float> y(2);
+  e.forward(x, y);
+  // gate·x = 1 -> silu(1) = 1/(1+e^-1); up·x = 2; act = 2*silu(1).
+  const float silu1 = 1.0f / (1.0f + std::exp(-1.0f));
+  EXPECT_NEAR(y[0], 3.0f * 2.0f * silu1, 1e-6);
+  EXPECT_NEAR(y[1], 0.0f, 1e-6);
+}
+
+TEST(Expert, BatchMatchesPerToken) {
+  Rng rng(2);
+  Expert e(16, 32, rng);
+  Rng xr(3);
+  const Tensor x = Tensor::randn({4, 16}, xr);
+  const Tensor batch = e.forward(x);
+  std::vector<float> y(16);
+  for (std::size_t t = 0; t < 4; ++t) {
+    e.forward(x.row(t), y);
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_NEAR(batch.at(t, j), y[j], 1e-6);
+    }
+  }
+}
+
+TEST(Expert, ParamCount) {
+  Rng rng(4);
+  Expert e(8, 32, rng);
+  EXPECT_EQ(e.param_count(), 3u * 8u * 32u);
+}
+
+TEST(Expert, KeepAllChannelsIsIdentity) {
+  Rng rng(5);
+  Expert e(8, 16, rng);
+  Rng xr(6);
+  const Tensor x = Tensor::randn({3, 8}, xr);
+  const Tensor before = e.forward(x);
+  std::vector<int> all(16);
+  std::iota(all.begin(), all.end(), 0);
+  e.keep_channels(all);
+  const Tensor after = e.forward(x);
+  EXPECT_LT(max_abs_diff(before, after), 1e-7f);
+}
+
+TEST(Expert, KeepChannelsShrinks) {
+  Rng rng(7);
+  Expert e(8, 16, rng);
+  e.keep_channels({0, 3, 7, 11});
+  EXPECT_EQ(e.ffn(), 4);
+  EXPECT_EQ(e.w_gate().dim(0), 4u);
+  EXPECT_EQ(e.w_down().dim(1), 4u);
+  // Still runs.
+  std::vector<float> x(8, 0.5f), y(8);
+  e.forward(x, y);
+}
+
+TEST(Expert, KeepChannelsValidation) {
+  Rng rng(8);
+  Expert e(8, 16, rng);
+  EXPECT_THROW(e.keep_channels({}), Error);
+  EXPECT_THROW(e.keep_channels({3, 1}), Error);
+  EXPECT_THROW(e.keep_channels({1, 1}), Error);
+  EXPECT_THROW(e.keep_channels({16}), Error);
+}
+
+TEST(Expert, ChannelImportancePositive) {
+  Rng rng(9);
+  Expert e(16, 32, rng);
+  const auto imp = e.channel_importance();
+  ASSERT_EQ(imp.size(), 32u);
+  for (float v : imp) EXPECT_GT(v, 0.0f);
+}
+
+TEST(Expert, ZeroedChannelHasZeroImportance) {
+  Rng rng(10);
+  Expert e(4, 8, rng);
+  for (std::size_t j = 0; j < 4; ++j) {
+    e.mutable_w_gate().at(2, j) = 0.0f;
+    e.mutable_w_up().at(2, j) = 0.0f;
+    e.mutable_w_down().at(j, 2) = 0.0f;
+  }
+  const auto imp = e.channel_importance();
+  EXPECT_EQ(imp[2], 0.0f);
+  EXPECT_GT(imp[0], 0.0f);
+}
+
+TEST(Expert, QuantizeWeightsPerturbsOutputSlightly) {
+  Rng rng(11);
+  Expert e(32, 64, rng);
+  Rng xr(12);
+  const Tensor x = Tensor::randn({4, 32}, xr);
+  const Tensor before = e.forward(x);
+  const auto err = e.quantize_weights(DType::kFP8E4M3,
+                                      quant::Granularity::kPerRow);
+  EXPECT_GT(err.rel_err, 0.0);
+  EXPECT_LT(err.rel_err, 0.05);
+  const Tensor after = e.forward(x);
+  const float diff = max_abs_diff(before, after);
+  EXPECT_GT(diff, 0.0f);
+  // Output perturbation stays in the same order as the weight error.
+  EXPECT_LT(diff, 0.3f * frobenius_norm(before));
+}
+
+TEST(Expert, Fp32QuantIsExact) {
+  Rng rng(13);
+  Expert e(8, 8, rng);
+  const auto err = e.quantize_weights(DType::kFP32,
+                                      quant::Granularity::kPerTensor);
+  EXPECT_EQ(err.max_abs_err, 0.0);
+}
+
+TEST(Expert, ShapeValidation) {
+  Rng rng(14);
+  EXPECT_THROW(Expert(0, 4, rng), Error);
+  Expert e(4, 4, rng);
+  std::vector<float> bad(3), y(4);
+  EXPECT_THROW(e.forward(bad, y), Error);
+}
+
+}  // namespace
+}  // namespace mib::moe

@@ -1,0 +1,173 @@
+#include "moe/moe_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mib::moe {
+namespace {
+
+MoELayerConfig cfg(int hidden = 32, int ffn = 64, int experts = 8, int k = 2,
+                   int shared = 0, int shared_ffn = 0) {
+  MoELayerConfig c;
+  c.hidden = hidden;
+  c.expert_ffn = ffn;
+  c.n_experts = experts;
+  c.top_k = k;
+  c.n_shared_experts = shared;
+  c.shared_expert_ffn = shared_ffn;
+  return c;
+}
+
+Tensor tokens(int n, int hidden, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return Tensor::randn({static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(hidden)},
+                       rng);
+}
+
+TEST(MoELayer, FusedMatchesStaged) {
+  Rng rng(1);
+  MoELayer layer(cfg(), rng);
+  const Tensor x = tokens(16, 32);
+  const Tensor staged = layer.forward_staged(x);
+  const Tensor fused = layer.forward_fused(x);
+  EXPECT_LT(max_abs_diff(staged, fused), 1e-5f);
+}
+
+// Property sweep: fused == staged across layer geometries — the functional
+// claim behind the paper's Fused MoE optimization (§7.2).
+struct Geometry {
+  int hidden, ffn, experts, top_k, shared;
+};
+
+class FusedEquivalence : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(FusedEquivalence, OutputsMatch) {
+  const auto g = GetParam();
+  Rng rng(42);
+  MoELayer layer(cfg(g.hidden, g.ffn, g.experts, g.top_k, g.shared,
+                     g.shared ? g.ffn : 0),
+                 rng);
+  const Tensor x = tokens(24, g.hidden, 7);
+  const Tensor staged = layer.forward_staged(x);
+  const Tensor fused = layer.forward_fused(x);
+  const float scale = std::max(1.0f, frobenius_norm(staged));
+  EXPECT_LT(max_abs_diff(staged, fused) / scale, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FusedEquivalence,
+    ::testing::Values(Geometry{16, 32, 4, 1, 0}, Geometry{16, 32, 4, 4, 0},
+                      Geometry{32, 64, 8, 2, 0}, Geometry{32, 16, 16, 3, 0},
+                      Geometry{24, 48, 6, 2, 1}, Geometry{32, 64, 8, 2, 2},
+                      Geometry{8, 8, 2, 1, 0}, Geometry{64, 128, 4, 2, 0}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      const auto& g = info.param;
+      return "h" + std::to_string(g.hidden) + "_f" + std::to_string(g.ffn) +
+             "_e" + std::to_string(g.experts) + "_k" +
+             std::to_string(g.top_k) + "_s" + std::to_string(g.shared);
+    });
+
+TEST(MoELayer, SingleThreadPoolMatchesShared) {
+  Rng rng(2);
+  MoELayer layer(cfg(), rng);
+  const Tensor x = tokens(8, 32);
+  ThreadPool single(1);
+  const Tensor a = layer.forward_fused(x, &single);
+  const Tensor b = layer.forward_fused(x);
+  EXPECT_LT(max_abs_diff(a, b), 1e-6f);
+}
+
+TEST(MoELayer, SharedExpertsAlwaysContribute) {
+  Rng rng(3);
+  MoELayer with_shared(cfg(16, 32, 4, 1, 2, 32), rng);
+  // Zero out all routed experts: output must still be nonzero thanks to
+  // the shared experts.
+  for (int e = 0; e < with_shared.n_experts(); ++e) {
+    for (Tensor* w : {&with_shared.expert(e).mutable_w_gate(),
+                      &with_shared.expert(e).mutable_w_up(),
+                      &with_shared.expert(e).mutable_w_down()}) {
+      for (float& v : w->flat()) v = 0.0f;
+    }
+  }
+  const Tensor y = with_shared.forward_staged(tokens(4, 16));
+  EXPECT_GT(frobenius_norm(y), 0.0f);
+}
+
+TEST(MoELayer, OutputDependsOnRouting) {
+  Rng rng(4);
+  MoELayer layer(cfg(16, 32, 8, 1), rng);
+  const Tensor x = tokens(2, 16, 1);
+  const Tensor y1 = layer.forward_staged(x);
+  // Force all tokens to expert 0 via a prior; output must change.
+  std::vector<float> prior(8, 0.0f);
+  prior[0] = 1000.0f;
+  layer.router().set_logit_prior(prior);
+  const Tensor y2 = layer.forward_staged(x);
+  EXPECT_GT(max_abs_diff(y1, y2), 1e-4f);
+}
+
+TEST(MoELayer, ParamCounts) {
+  Rng rng(5);
+  MoELayer layer(cfg(16, 32, 4, 2, 1, 8), rng);
+  // router 4*16 + 4 experts * 3*16*32 + shared 3*16*8.
+  EXPECT_EQ(layer.total_params(), 64u + 4u * 1536u + 384u);
+  EXPECT_EQ(layer.active_params_per_token(), 64u + 2u * 1536u + 384u);
+}
+
+TEST(MoELayer, DropExpertsKeepsRunning) {
+  Rng rng(6);
+  MoELayer layer(cfg(16, 32, 8, 2), rng);
+  layer.drop_experts({0, 4});
+  EXPECT_EQ(layer.n_experts(), 6);
+  EXPECT_EQ(layer.config().n_experts, 6);
+  const Tensor y = layer.forward_fused(tokens(8, 16));
+  EXPECT_EQ(y.dim(0), 8u);
+}
+
+TEST(MoELayer, DropExpertsRemovesTheRightOnes) {
+  Rng rng(7);
+  MoELayer layer(cfg(8, 16, 4, 1), rng);
+  const float marker = layer.expert(3).w_gate().at(0, 0);
+  layer.drop_experts({0, 1});
+  EXPECT_EQ(layer.n_experts(), 2);
+  // Old expert 3 is now expert 1.
+  EXPECT_EQ(layer.expert(1).w_gate().at(0, 0), marker);
+}
+
+TEST(MoELayer, SyncFfnAfterManualShrink) {
+  Rng rng(8);
+  MoELayer layer(cfg(8, 16, 2, 1), rng);
+  layer.expert(0).keep_channels({0, 1, 2, 3});
+  EXPECT_THROW(layer.sync_ffn_from_experts(), Error);  // mismatch
+  layer.expert(1).keep_channels({0, 1, 2, 3});
+  layer.sync_ffn_from_experts();
+  EXPECT_EQ(layer.config().expert_ffn, 4);
+}
+
+TEST(MoELayer, ConfigValidation) {
+  Rng rng(9);
+  EXPECT_THROW(MoELayer(cfg(0, 16, 2, 1), rng), Error);
+  EXPECT_THROW(MoELayer(cfg(8, 16, 2, 3), rng), Error);
+  auto c = cfg(8, 16, 2, 1, 1, 0);
+  EXPECT_THROW(MoELayer(c, rng), Error);  // shared without dim
+}
+
+TEST(MoELayer, InputShapeChecked) {
+  Rng rng(10);
+  MoELayer layer(cfg(16, 32, 4, 1), rng);
+  EXPECT_THROW(layer.forward_staged(tokens(4, 8)), Error);
+  EXPECT_THROW(layer.forward_fused(tokens(4, 8)), Error);
+}
+
+TEST(MoELayer, ExpertAccessorBounds) {
+  Rng rng(11);
+  MoELayer layer(cfg(16, 32, 4, 1), rng);
+  EXPECT_THROW(layer.expert(4), Error);
+  EXPECT_THROW(layer.expert(-1), Error);
+  EXPECT_THROW(layer.shared_expert(0), Error);
+}
+
+}  // namespace
+}  // namespace mib::moe

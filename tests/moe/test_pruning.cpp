@@ -1,0 +1,162 @@
+#include "moe/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mib::moe {
+namespace {
+
+MoELayerConfig cfg(int experts = 8, int ffn = 64) {
+  MoELayerConfig c;
+  c.hidden = 16;
+  c.expert_ffn = ffn;
+  c.n_experts = experts;
+  c.top_k = 2;
+  return c;
+}
+
+Tensor tokens(int n, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return Tensor::randn({static_cast<std::size_t>(n), 16}, rng);
+}
+
+TEST(PruneMath, ExpertCounts) {
+  // The paper: 12.5% inter-expert pruning removes 1/8 of the experts.
+  EXPECT_EQ(pruned_expert_count(8, 0.125), 7);
+  EXPECT_EQ(pruned_expert_count(8, 0.25), 6);
+  EXPECT_EQ(pruned_expert_count(8, 0.5), 4);
+  EXPECT_EQ(pruned_expert_count(64, 0.125), 56);
+  EXPECT_EQ(pruned_expert_count(60, 0.5), 30);
+  // Never drops to zero.
+  EXPECT_EQ(pruned_expert_count(2, 0.9), 1);
+}
+
+TEST(PruneMath, FfnDims) {
+  // 25% intra-expert pruning reduces the FFN dim by 1/4 (paper §6.2).
+  EXPECT_EQ(pruned_ffn_dim(14336, 0.25), 10752);
+  EXPECT_EQ(pruned_ffn_dim(1024, 0.5), 512);
+  EXPECT_EQ(pruned_ffn_dim(1024, 0.125), 896);
+  EXPECT_EQ(pruned_ffn_dim(4, 0.99), 1);
+}
+
+TEST(PruneMath, InvalidRatios) {
+  EXPECT_THROW(pruned_expert_count(8, 0.0), Error);
+  EXPECT_THROW(pruned_expert_count(8, 1.0), Error);
+  EXPECT_THROW(pruned_ffn_dim(8, -0.1), Error);
+}
+
+TEST(InterExpertPrune, RemovesAndReports) {
+  Rng rng(1);
+  MoELayer layer(cfg(), rng);
+  const auto r = inter_expert_prune(layer, 0.25,
+                                    ExpertPruneCriterion::kHighestIndex);
+  EXPECT_EQ(r.experts_before, 8);
+  EXPECT_EQ(r.experts_after, 6);
+  EXPECT_EQ(layer.n_experts(), 6);
+  EXPECT_EQ(r.removed_experts.size(), 2u);
+  // kHighestIndex scores high indices lowest -> removes 6 and 7.
+  EXPECT_EQ(r.removed_experts[0], 6);
+  EXPECT_EQ(r.removed_experts[1], 7);
+}
+
+TEST(InterExpertPrune, LeastActivatedCriterion) {
+  Rng rng(2);
+  MoELayer layer(cfg(4, 32), rng);
+  // Bias routing hard toward experts 0 and 1, then prune half.
+  std::vector<float> prior = {10.0f, 10.0f, -10.0f, -10.0f};
+  layer.router().set_logit_prior(prior);
+  layer.forward_fused(tokens(64));
+  const auto r = inter_expert_prune(layer, 0.5,
+                                    ExpertPruneCriterion::kLeastActivated);
+  EXPECT_EQ(r.removed_experts, (std::vector<int>{2, 3}));
+}
+
+TEST(InterExpertPrune, SmallestNormCriterion) {
+  Rng rng(3);
+  MoELayer layer(cfg(4, 32), rng);
+  // Zero expert 2's weights -> smallest norm.
+  for (Tensor* w : {&layer.expert(2).mutable_w_gate(),
+                    &layer.expert(2).mutable_w_up(),
+                    &layer.expert(2).mutable_w_down()}) {
+    for (float& v : w->flat()) v = 0.0f;
+  }
+  const auto r = inter_expert_prune(layer, 0.25,
+                                    ExpertPruneCriterion::kSmallestNorm);
+  EXPECT_EQ(r.removed_experts, (std::vector<int>{2}));
+}
+
+TEST(InterExpertPrune, LayerStillRunsAndRoutesInRange) {
+  Rng rng(4);
+  MoELayer layer(cfg(8, 32), rng);
+  inter_expert_prune(layer, 0.5, ExpertPruneCriterion::kSmallestNorm);
+  const Tensor y = layer.forward_staged(tokens(16));
+  EXPECT_EQ(y.dim(0), 16u);
+  for (auto c : layer.router().activation_counts()) {
+    (void)c;  // counts valid by construction; routing asserted internally
+  }
+}
+
+TEST(IntraExpertPrune, ShrinksEveryExpert) {
+  Rng rng(5);
+  MoELayer layer(cfg(4, 64), rng);
+  const auto r = intra_expert_prune(layer, 0.5);
+  EXPECT_EQ(r.ffn_before, 64);
+  EXPECT_EQ(r.ffn_after, 32);
+  EXPECT_EQ(layer.config().expert_ffn, 32);
+  for (int e = 0; e < layer.n_experts(); ++e) {
+    EXPECT_EQ(layer.expert(e).ffn(), 32);
+  }
+  const Tensor y = layer.forward_fused(tokens(8));
+  EXPECT_EQ(y.dim(1), 16u);
+}
+
+TEST(IntraExpertPrune, KeepsImportantChannels) {
+  Rng rng(6);
+  auto c = cfg(1, 8);
+  c.top_k = 1;
+  MoELayer layer(c, rng);
+  Expert& e = layer.expert(0);
+  // Make channel 5 overwhelmingly important and channel 2 dead.
+  for (std::size_t j = 0; j < 16; ++j) {
+    e.mutable_w_gate().at(5, j) = 10.0f;
+    e.mutable_w_up().at(5, j) = 10.0f;
+    e.mutable_w_gate().at(2, j) = 0.0f;
+    e.mutable_w_up().at(2, j) = 0.0f;
+    e.mutable_w_down().at(j, 2) = 0.0f;
+  }
+  intra_expert_prune(layer, 0.5);
+  // The surviving expert must still produce the dominant channel's signal:
+  // importance of the boosted channel guaranteed it survived.
+  const auto imp = layer.expert(0).channel_importance();
+  float max_imp = 0.0f;
+  for (float v : imp) max_imp = std::max(max_imp, v);
+  EXPECT_GT(max_imp, 50.0f);  // boosted channel (||.|| ~ 80) survived
+}
+
+TEST(IntraExpertPrune, SmallPerturbationAtLowRatio) {
+  // Magnitude pruning of 12.5% of channels changes outputs, but far less
+  // than the output magnitude itself.
+  Rng rng(7);
+  MoELayer layer(cfg(4, 128), rng);
+  const Tensor x = tokens(8);
+  const Tensor before = layer.forward_staged(x);
+  intra_expert_prune(layer, 0.125);
+  const Tensor after = layer.forward_staged(x);
+  EXPECT_GT(max_abs_diff(before, after), 0.0f);
+  EXPECT_LT(max_abs_diff(before, after), frobenius_norm(before));
+}
+
+TEST(Pruning, ParamReductionMatchesRatio) {
+  Rng rng(8);
+  MoELayer a(cfg(8, 64), rng);
+  const auto before = a.total_params();
+  inter_expert_prune(a, 0.5, ExpertPruneCriterion::kHighestIndex);
+  const auto after = a.total_params();
+  // 4 of 8 experts removed: expert params halve (router row count too).
+  EXPECT_LT(after, 0.55 * before);
+  EXPECT_GT(after, 0.45 * before);
+}
+
+}  // namespace
+}  // namespace mib::moe

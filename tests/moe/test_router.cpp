@@ -1,0 +1,226 @@
+#include "moe/router.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/error.h"
+
+namespace mib::moe {
+namespace {
+
+RouterConfig cfg(int hidden = 32, int experts = 8, int k = 2) {
+  RouterConfig c;
+  c.hidden = hidden;
+  c.n_experts = experts;
+  c.top_k = k;
+  return c;
+}
+
+Tensor tokens(int n, int hidden, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return Tensor::randn({static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(hidden)},
+                       rng);
+}
+
+TEST(Router, SelectsTopKDistinctExperts) {
+  Rng rng(1);
+  Router r(cfg(), rng);
+  const auto routes = r.route(tokens(16, 32));
+  ASSERT_EQ(routes.size(), 16u);
+  for (const auto& tr : routes) {
+    EXPECT_EQ(tr.experts.size(), 2u);
+    EXPECT_EQ(tr.weights.size(), 2u);
+    std::set<int> uniq(tr.experts.begin(), tr.experts.end());
+    EXPECT_EQ(uniq.size(), 2u);
+    for (int e : tr.experts) {
+      EXPECT_GE(e, 0);
+      EXPECT_LT(e, 8);
+    }
+  }
+}
+
+TEST(Router, WeightsSortedByScore) {
+  Rng rng(2);
+  Router r(cfg(32, 16, 4), rng);
+  for (const auto& tr : r.route(tokens(8, 32))) {
+    for (std::size_t j = 1; j < tr.weights.size(); ++j) {
+      EXPECT_GE(tr.weights[j - 1], tr.weights[j]);
+    }
+  }
+}
+
+TEST(Router, RenormalizedWeightsSumToOne) {
+  Rng rng(3);
+  Router r(cfg(32, 8, 3), rng);  // default: softmax-then-topk, renormalize
+  for (const auto& tr : r.route(tokens(32, 32))) {
+    const float s =
+        std::accumulate(tr.weights.begin(), tr.weights.end(), 0.0f);
+    EXPECT_NEAR(s, 1.0f, 1e-5);
+  }
+}
+
+TEST(Router, UnnormalizedWeightsAreGlobalSoftmaxProbs) {
+  auto c = cfg(32, 8, 3);
+  c.renormalize = false;
+  Rng rng(4);
+  Router r(c, rng);
+  for (const auto& tr : r.route(tokens(16, 32))) {
+    float s = 0.0f;
+    for (float w : tr.weights) {
+      EXPECT_GT(w, 0.0f);
+      EXPECT_LT(w, 1.0f);
+      s += w;
+    }
+    EXPECT_LE(s, 1.0f + 1e-5);  // subset of a softmax
+  }
+}
+
+TEST(Router, TopKThenSoftmaxSumsToOne) {
+  auto c = cfg(32, 8, 2);
+  c.order = ScoreOrder::kTopKThenSoftmax;
+  Rng rng(5);
+  Router r(c, rng);
+  for (const auto& tr : r.route(tokens(16, 32))) {
+    const float s =
+        std::accumulate(tr.weights.begin(), tr.weights.end(), 0.0f);
+    EXPECT_NEAR(s, 1.0f, 1e-5);
+  }
+}
+
+TEST(Router, BothOrdersPickSameExperts) {
+  // Selection depends only on logits; the order affects weights only.
+  Rng rng1(6);
+  Router a(cfg(32, 8, 2), rng1);
+  auto c = cfg(32, 8, 2);
+  c.order = ScoreOrder::kTopKThenSoftmax;
+  Router b(c, Tensor(a.gate()));
+  const auto x = tokens(16, 32, 11);
+  const auto ra = a.route(x);
+  const auto rb = b.route(x);
+  for (std::size_t t = 0; t < ra.size(); ++t) {
+    EXPECT_EQ(ra[t].experts, rb[t].experts);
+  }
+}
+
+TEST(Router, ActivationCountsAccumulate) {
+  Rng rng(7);
+  Router r(cfg(32, 8, 2), rng);
+  r.route(tokens(50, 32, 1));
+  r.route(tokens(50, 32, 2));
+  const auto& counts = r.activation_counts();
+  const auto total = std::accumulate(counts.begin(), counts.end(),
+                                     std::uint64_t{0});
+  EXPECT_EQ(total, 200u);  // 100 tokens x top-2
+  r.reset_counts();
+  for (auto c : r.activation_counts()) EXPECT_EQ(c, 0u);
+}
+
+TEST(Router, DeterministicGivenSeed) {
+  Rng rng1(9), rng2(9);
+  Router a(cfg(), rng1);
+  Router b(cfg(), rng2);
+  const auto x = tokens(8, 32);
+  const auto ra = a.route(x);
+  const auto rb = b.route(x);
+  for (std::size_t t = 0; t < ra.size(); ++t) {
+    EXPECT_EQ(ra[t].experts, rb[t].experts);
+    EXPECT_EQ(ra[t].weights, rb[t].weights);
+  }
+}
+
+TEST(Router, PriorSkewsSelection) {
+  Rng rng(13);
+  Router r(cfg(32, 8, 1), rng);
+  std::vector<float> prior(8, 0.0f);
+  prior[3] = 100.0f;  // overwhelming preference
+  r.set_logit_prior(prior);
+  for (const auto& tr : r.route(tokens(64, 32))) {
+    EXPECT_EQ(tr.experts[0], 3);
+  }
+}
+
+TEST(Router, PriorSizeChecked) {
+  Rng rng(14);
+  Router r(cfg(), rng);
+  EXPECT_THROW(r.set_logit_prior(std::vector<float>(5, 0.0f)), Error);
+  r.set_logit_prior({});  // clearing is allowed
+}
+
+TEST(Router, DropExpertsShrinksGate) {
+  Rng rng(15);
+  Router r(cfg(32, 8, 4), rng);
+  r.drop_experts({1, 5, 6});
+  EXPECT_EQ(r.config().n_experts, 5);
+  EXPECT_EQ(r.config().top_k, 4);
+  const auto routes = r.route(tokens(32, 32));
+  for (const auto& tr : routes) {
+    for (int e : tr.experts) {
+      EXPECT_GE(e, 0);
+      EXPECT_LT(e, 5);
+    }
+  }
+}
+
+TEST(Router, DropExpertsClampsTopK) {
+  Rng rng(16);
+  Router r(cfg(32, 4, 3), rng);
+  r.drop_experts({0, 1});
+  EXPECT_EQ(r.config().n_experts, 2);
+  EXPECT_EQ(r.config().top_k, 2);
+}
+
+TEST(Router, DropExpertsPreservesRemainingRows) {
+  Rng rng(17);
+  Router r(cfg(8, 4, 1), rng);
+  const Tensor before = r.gate();
+  r.drop_experts({1});
+  const Tensor& after = r.gate();
+  // Row 0 unchanged; old rows 2,3 become rows 1,2.
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(after.at(0, j), before.at(0, j));
+    EXPECT_EQ(after.at(1, j), before.at(2, j));
+    EXPECT_EQ(after.at(2, j), before.at(3, j));
+  }
+}
+
+TEST(Router, DropExpertsValidation) {
+  Rng rng(18);
+  Router r(cfg(32, 4, 1), rng);
+  EXPECT_THROW(r.drop_experts({}), Error);
+  EXPECT_THROW(r.drop_experts({2, 1}), Error);      // unsorted
+  EXPECT_THROW(r.drop_experts({1, 1}), Error);      // duplicate
+  EXPECT_THROW(r.drop_experts({4}), Error);         // out of range
+  EXPECT_THROW(r.drop_experts({0, 1, 2, 3}), Error);  // would empty
+}
+
+TEST(Router, ConfigValidation) {
+  Rng rng(19);
+  EXPECT_THROW(Router(cfg(0, 8, 2), rng), Error);
+  EXPECT_THROW(Router(cfg(32, 0, 1), rng), Error);
+  EXPECT_THROW(Router(cfg(32, 4, 5), rng), Error);
+}
+
+TEST(Router, InputShapeChecked) {
+  Rng rng(20);
+  Router r(cfg(32, 8, 2), rng);
+  EXPECT_THROW(r.route(tokens(4, 16)), Error);
+}
+
+TEST(Router, ExplicitGateShapeChecked) {
+  Tensor bad({3, 32});
+  EXPECT_THROW(Router(cfg(32, 8, 2), std::move(bad)), Error);
+}
+
+// With many tokens and a balanced router every expert should be hit.
+TEST(Router, BalancedRouterCoversAllExperts) {
+  Rng rng(21);
+  Router r(cfg(32, 16, 2), rng);
+  r.route(tokens(2000, 32));
+  for (auto c : r.activation_counts()) EXPECT_GT(c, 0u);
+}
+
+}  // namespace
+}  // namespace mib::moe

@@ -1,0 +1,192 @@
+#include "moe/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+#include "moe/pruning.h"
+
+namespace mib::moe {
+namespace {
+
+TransformerConfig small_cfg() {
+  TransformerConfig c;
+  c.vocab = 64;
+  c.n_layers = 2;
+  c.hidden = 32;
+  c.n_heads = 4;
+  c.n_kv_heads = 4;
+  c.head_dim = 8;
+  c.n_experts = 4;
+  c.top_k = 2;
+  c.expert_ffn = 48;
+  return c;
+}
+
+TEST(Transformer, ForwardShapesAndSessionAdvance) {
+  const Transformer model(small_cfg(), 42);
+  auto s = model.new_session();
+  const Tensor logits = model.forward({1, 2, 3}, s);
+  EXPECT_EQ(logits.dim(0), 3u);
+  EXPECT_EQ(logits.dim(1), 64u);
+  EXPECT_EQ(s.position(), 3);
+  model.forward({4}, s);
+  EXPECT_EQ(s.position(), 4);
+}
+
+TEST(Transformer, IncrementalDecodeMatchesFullRecompute) {
+  // The system-level KV-cache property: prefill+decode token-by-token must
+  // produce the same logits as recomputing the full prefix each time.
+  const Transformer model(small_cfg(), 7);
+  const std::vector<int> seq = {5, 9, 1, 33, 17, 2};
+
+  auto inc = model.new_session();
+  std::vector<Tensor> inc_logits;
+  for (int tok : seq) {
+    inc_logits.push_back(model.forward({tok}, inc));
+  }
+
+  auto full = model.new_session();
+  const Tensor full_logits = model.forward(seq, full);
+
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    for (std::size_t vtok = 0; vtok < 64; ++vtok) {
+      EXPECT_NEAR(inc_logits[t].at(0, vtok), full_logits.at(t, vtok), 1e-4f)
+          << "t=" << t;
+    }
+  }
+}
+
+TEST(Transformer, GenerateIsDeterministic) {
+  const Transformer a(small_cfg(), 11);
+  const Transformer b(small_cfg(), 11);
+  auto sa = a.new_session();
+  auto sb = b.new_session();
+  const auto ga = a.generate({1, 2, 3}, 12, sa);
+  const auto gb = b.generate({1, 2, 3}, 12, sb);
+  EXPECT_EQ(ga, gb);
+  ASSERT_EQ(ga.size(), 12u);
+  for (int t : ga) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 64);
+  }
+}
+
+TEST(Transformer, DifferentSeedsDiffer) {
+  const Transformer a(small_cfg(), 1);
+  const Transformer b(small_cfg(), 2);
+  auto sa = a.new_session();
+  auto sb = b.new_session();
+  EXPECT_NE(a.generate({1, 2, 3}, 8, sa), b.generate({1, 2, 3}, 8, sb));
+}
+
+TEST(Transformer, PromptChangesGeneration) {
+  const Transformer model(small_cfg(), 13);
+  auto s1 = model.new_session();
+  auto s2 = model.new_session();
+  const auto g1 = model.generate({1, 2, 3}, 8, s1);
+  const auto g2 = model.generate({40, 50, 60}, 8, s2);
+  EXPECT_NE(g1, g2);
+}
+
+TEST(Transformer, ActivationCountsMatchTokenFlow) {
+  Transformer model(small_cfg(), 17);
+  model.reset_activation_counts();
+  auto s = model.new_session();
+  model.forward({1, 2, 3, 4, 5}, s);
+  const auto counts = model.activation_counts();
+  ASSERT_EQ(counts.size(), 2u);  // two MoE layers
+  for (const auto& layer : counts) {
+    const auto total = std::accumulate(layer.begin(), layer.end(),
+                                       std::uint64_t{0});
+    EXPECT_EQ(total, 5u * 2u);  // tokens * top_k per layer
+  }
+}
+
+TEST(Transformer, DenseVariantRuns) {
+  auto c = small_cfg();
+  c.n_experts = 0;
+  c.top_k = 0;
+  c.expert_ffn = 0;
+  c.dense_ffn = 48;
+  const Transformer model(c, 19);
+  auto s = model.new_session();
+  const Tensor logits = model.forward({1, 2}, s);
+  EXPECT_EQ(logits.dim(1), 64u);
+  EXPECT_TRUE(model.activation_counts().empty());
+}
+
+TEST(Transformer, SharedExpertsVariantRuns) {
+  auto c = small_cfg();
+  c.n_shared_experts = 1;
+  c.shared_expert_ffn = 32;
+  const Transformer model(c, 23);
+  auto s = model.new_session();
+  model.forward({1, 2, 3}, s);
+  EXPECT_EQ(s.position(), 3);
+}
+
+TEST(Transformer, PrunedModelStillGenerates) {
+  // End-to-end §6.2: prune every layer of a running model, keep decoding.
+  Transformer model(small_cfg(), 29);
+  auto warm = model.new_session();
+  model.forward({1, 2, 3, 4, 5, 6, 7, 8}, warm);  // calibration counts
+  for (int l = 0; l < 2; ++l) {
+    inter_expert_prune(model.moe_layer(l), 0.5,
+                       ExpertPruneCriterion::kLeastActivated);
+  }
+  EXPECT_EQ(model.moe_layer(0).n_experts(), 2);
+  auto s = model.new_session();
+  const auto out = model.generate({1, 2, 3}, 6, s);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(Transformer, QuantizedWeightsPerturbLogitsBoundedly) {
+  Transformer model(small_cfg(), 31);
+  auto s1 = model.new_session();
+  const Tensor before = model.forward({1, 2, 3}, s1);
+  for (int l = 0; l < 2; ++l) {
+    auto& layer = model.moe_layer(l);
+    for (int e = 0; e < layer.n_experts(); ++e) {
+      layer.expert(e).quantize_weights(DType::kFP8E4M3,
+                                       quant::Granularity::kPerRow);
+    }
+  }
+  auto s2 = model.new_session();
+  const Tensor after = model.forward({1, 2, 3}, s2);
+  const float diff = max_abs_diff(before, after);
+  EXPECT_GT(diff, 0.0f);
+  EXPECT_LT(diff, 0.25f * frobenius_norm(before));
+}
+
+TEST(Transformer, InvalidInputsRejected) {
+  const Transformer model(small_cfg(), 37);
+  auto s = model.new_session();
+  EXPECT_THROW(model.forward({}, s), Error);
+  EXPECT_THROW(model.forward({64}, s), Error);   // out of vocab
+  EXPECT_THROW(model.forward({-1}, s), Error);
+  Session foreign;  // not created by this model
+  EXPECT_THROW(model.forward({1}, foreign), Error);
+}
+
+TEST(Transformer, ParamCountConsistent) {
+  const auto c = small_cfg();
+  const Transformer model(c, 41);
+  // embedding + head: 2 * 64*32; per layer: attention 4*32*32,
+  // norms 2*32, moe router 4*32 + 4 experts * 3*32*48; final norm 32.
+  const std::size_t expected =
+      2u * 64 * 32 +
+      2u * (4u * 32 * 32 + 2u * 32 + 4u * 32 + 4u * 3 * 32 * 48) + 32u;
+  EXPECT_EQ(model.param_count(), expected);
+}
+
+TEST(GreedySample, ArgmaxWithTieBreak) {
+  const std::vector<float> logits = {0.5f, 2.0f, 2.0f, -1.0f};
+  EXPECT_EQ(greedy_sample(logits), 1);  // first max wins
+  const std::vector<float> single = {3.0f};
+  EXPECT_EQ(greedy_sample(single), 0);
+}
+
+}  // namespace
+}  // namespace mib::moe

@@ -1,0 +1,116 @@
+#include "parallel/expert_placement.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mib::parallel {
+namespace {
+
+TEST(ExpertProbabilities, UniformSumsToOne) {
+  const auto p = expert_probabilities(64, RoutingModel{});
+  EXPECT_EQ(p.size(), 64u);
+  double total = std::accumulate(p.begin(), p.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (double v : p) EXPECT_NEAR(v, 1.0 / 64.0, 1e-12);
+}
+
+TEST(ExpertProbabilities, ZipfIsSkewedAndNormalized) {
+  const auto p = expert_probabilities(16, RoutingModel{1.2});
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+  for (std::size_t i = 1; i < p.size(); ++i) EXPECT_LT(p[i], p[i - 1]);
+}
+
+TEST(ExpectedDistinct, BasicProperties) {
+  const RoutingModel uniform{};
+  EXPECT_DOUBLE_EQ(expected_distinct_experts(8, 0.0, uniform), 0.0);
+  // One draw hits exactly one expert.
+  EXPECT_NEAR(expected_distinct_experts(8, 1.0, uniform), 1.0, 1e-9);
+  // Coverage saturates at E.
+  EXPECT_NEAR(expected_distinct_experts(8, 1e6, uniform), 8.0, 1e-6);
+  // Monotone in draws.
+  double prev = 0.0;
+  for (double n : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+    const double d = expected_distinct_experts(64, n, uniform);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(ExpectedDistinct, KnownClosedForm) {
+  // E * (1 - (1-1/E)^n) for E=8, n=16: 8 * (1 - 0.875^16).
+  const double expected = 8.0 * (1.0 - std::pow(0.875, 16.0));
+  EXPECT_NEAR(expected_distinct_experts(8, 16.0, RoutingModel{}), expected,
+              1e-9);
+}
+
+TEST(ExpectedDistinct, SkewReducesCoverage) {
+  const double uniform = expected_distinct_experts(64, 128, RoutingModel{});
+  const double skewed =
+      expected_distinct_experts(64, 128, RoutingModel{1.5});
+  EXPECT_LT(skewed, uniform);
+}
+
+TEST(MaxGroupLoad, SingleGroupIsBalanced) {
+  EXPECT_DOUBLE_EQ(
+      expected_max_group_load_factor(64, 512, 1, RoutingModel{}), 1.0);
+}
+
+TEST(MaxGroupLoad, FactorAtLeastOne) {
+  for (int groups : {2, 4, 8}) {
+    for (double n : {8.0, 64.0, 512.0}) {
+      EXPECT_GE(expected_max_group_load_factor(64, n, groups,
+                                               RoutingModel{}),
+                1.0);
+    }
+  }
+}
+
+TEST(MaxGroupLoad, VanishesWithManyAssignments) {
+  const double small =
+      expected_max_group_load_factor(64, 1e8, 4, RoutingModel{});
+  EXPECT_LT(small, 1.01);
+  const double big =
+      expected_max_group_load_factor(64, 64.0, 4, RoutingModel{});
+  EXPECT_GT(big, small);
+}
+
+TEST(MaxGroupLoad, SkewConcentratesLoad) {
+  const double bal =
+      expected_max_group_load_factor(64, 256, 4, RoutingModel{});
+  const double skew =
+      expected_max_group_load_factor(64, 256, 4, RoutingModel{1.5});
+  EXPECT_GT(skew, bal);
+}
+
+TEST(MaxGroupLoad, NeverExceedsAllAssignmentsOnOneDevice) {
+  // factor <= groups (all load on one device).
+  const double f =
+      expected_max_group_load_factor(64, 4.0, 8, RoutingModel{3.0});
+  EXPECT_LE(f, 8.0 + 1e-9);
+}
+
+TEST(MaxGroupShare, BoundedAndConsistent) {
+  const RoutingModel r{0.8};
+  const double f = expected_max_group_load_factor(64, 128, 4, r);
+  const double s = expected_max_group_share(64, 128, 4, r);
+  EXPECT_NEAR(s, f / 4.0, 1e-12);
+  EXPECT_GE(s, 0.25);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(MaxGroupLoad, InvalidArgs) {
+  EXPECT_THROW(expected_max_group_load_factor(4, 16, 0, RoutingModel{}),
+               Error);
+  EXPECT_THROW(expected_max_group_load_factor(4, 16, 8, RoutingModel{}),
+               Error);
+  EXPECT_THROW(expert_probabilities(0, RoutingModel{}), Error);
+  EXPECT_THROW(expert_probabilities(4, RoutingModel{-1.0}), Error);
+  EXPECT_THROW(expected_distinct_experts(4, -1.0, RoutingModel{}), Error);
+}
+
+}  // namespace
+}  // namespace mib::parallel

@@ -1,0 +1,62 @@
+#include "parallel/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mib::parallel {
+namespace {
+
+TEST(Pipeline, SingleStageIsIdentity) {
+  EXPECT_DOUBLE_EQ(pipeline_fill_drain_time(10.0, 1, 4), 10.0);
+}
+
+TEST(Pipeline, SingleMicrobatchGetsNoSpeedup) {
+  // (1 + p - 1) * T/p = T: with one microbatch the pipeline serializes.
+  EXPECT_DOUBLE_EQ(pipeline_fill_drain_time(12.0, 4, 1), 12.0);
+  EXPECT_DOUBLE_EQ(pipeline_fill_drain_time(12.0, 2, 1), 12.0);
+}
+
+TEST(Pipeline, ManyMicrobatchesApproachLinear) {
+  const double total = 16.0;
+  const int p = 4;
+  const double t = pipeline_fill_drain_time(total, p, 64);
+  EXPECT_NEAR(t, total / p, total / p * 0.06);
+  EXPECT_GT(t, total / p);  // bubble never fully vanishes
+}
+
+TEST(Pipeline, ClassicFormula) {
+  // m=4, p=4: (4+3) * T/(16).
+  EXPECT_DOUBLE_EQ(pipeline_fill_drain_time(16.0, 4, 4), 7.0);
+}
+
+TEST(Pipeline, BubbleFraction) {
+  EXPECT_DOUBLE_EQ(pipeline_bubble_fraction(4, 4), 0.75);
+  EXPECT_DOUBLE_EQ(pipeline_bubble_fraction(1, 8), 0.0);
+  EXPECT_DOUBLE_EQ(pipeline_bubble_fraction(8, 1), 7.0);
+}
+
+TEST(Pipeline, TransferTimeScalesWithCrossings) {
+  const hw::Interconnect ic(hw::nvlink4());
+  const double one = pipeline_transfer_time(1e6, 2, 1, ic);
+  EXPECT_DOUBLE_EQ(pipeline_transfer_time(1e6, 2, 4, ic), 4.0 * one);
+  EXPECT_NEAR(pipeline_transfer_time(1e6, 5, 1, ic), 4.0 * one, 1e-12);
+  EXPECT_DOUBLE_EQ(pipeline_transfer_time(1e6, 1, 8, ic), 0.0);
+}
+
+TEST(Pipeline, ChooseMicrobatches) {
+  EXPECT_EQ(choose_microbatches(64, 4), 8);   // 2 * pp
+  EXPECT_EQ(choose_microbatches(3, 4), 3);    // can't split below a request
+  EXPECT_EQ(choose_microbatches(1, 8), 1);
+  EXPECT_EQ(choose_microbatches(100, 1), 2);
+}
+
+TEST(Pipeline, InvalidArgs) {
+  EXPECT_THROW(pipeline_fill_drain_time(-1.0, 2, 2), Error);
+  EXPECT_THROW(pipeline_fill_drain_time(1.0, 0, 2), Error);
+  EXPECT_THROW(pipeline_bubble_fraction(0, 1), Error);
+  EXPECT_THROW(choose_microbatches(0, 1), Error);
+}
+
+}  // namespace
+}  // namespace mib::parallel

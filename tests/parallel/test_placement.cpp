@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "parallel/expert_placement.h"
+
+namespace mib::parallel {
+namespace {
+
+TEST(Placement, ContiguousBlocks) {
+  const auto p = contiguous_placement(8, 4);
+  EXPECT_EQ(p, (std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3}));
+  const auto one = contiguous_placement(4, 1);
+  for (int g : one) EXPECT_EQ(g, 0);
+  EXPECT_THROW(contiguous_placement(2, 4), Error);
+}
+
+TEST(Placement, BalancedIsFeasibleAndCapacityBounded) {
+  const auto probs = expert_probabilities(16, RoutingModel{1.5});
+  const auto p = balanced_placement(probs, 4);
+  ASSERT_EQ(p.size(), 16u);
+  std::vector<int> count(4, 0);
+  for (int g : p) {
+    ASSERT_GE(g, 0);
+    ASSERT_LT(g, 4);
+    ++count[g];
+  }
+  // Capacity: ceil(16/4) = 4 experts per device (even weight footprint).
+  for (int c : count) EXPECT_EQ(c, 4);
+}
+
+TEST(Placement, BalancedNeverWorseThanContiguousUnderSkew) {
+  for (double skew : {0.3, 0.8, 1.2, 2.0}) {
+    const auto probs = expert_probabilities(64, RoutingModel{skew});
+    const double contig =
+        placement_max_mass(probs, contiguous_placement(64, 4), 4);
+    const double bal = placement_max_mass(probs, balanced_placement(probs, 4), 4);
+    EXPECT_LE(bal, contig + 1e-12) << "skew " << skew;
+    // And the gap is substantial at high skew.
+    if (skew >= 1.2) EXPECT_LT(bal, 0.7 * contig) << "skew " << skew;
+  }
+}
+
+TEST(Placement, UniformIsPerfectlyBalanced) {
+  const auto probs = expert_probabilities(32, RoutingModel{});
+  const double bal =
+      placement_max_mass(probs, balanced_placement(probs, 4), 4);
+  EXPECT_NEAR(bal, 0.25, 1e-12);
+}
+
+TEST(Placement, LptBoundHolds) {
+  // LPT guarantee for makespan: max <= (4/3 - 1/(3g)) * OPT and OPT >= 1/g.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> probs(24);
+    double total = 0.0;
+    for (auto& v : probs) {
+      v = rng.uniform(0.01, 1.0);
+      total += v;
+    }
+    for (auto& v : probs) v /= total;
+    const int g = 4;
+    const double bal = placement_max_mass(probs, balanced_placement(probs, g), g);
+    const double biggest = *std::max_element(probs.begin(), probs.end());
+    const double opt_lb = std::max(1.0 / g, biggest);
+    EXPECT_LE(bal, (4.0 / 3.0) * opt_lb + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Placement, MaxLoadFactorForPlacementConsistent) {
+  // For contiguous placement the generalized formula must agree with the
+  // RoutingModel-based one.
+  const RoutingModel r{1.0};
+  const auto probs = expert_probabilities(64, r);
+  const auto contig = contiguous_placement(64, 4);
+  const double a =
+      expected_max_load_factor_for_placement(probs, contig, 4, 4096);
+  const double b = expected_max_group_load_factor(64, 4096, 4, r);
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(Placement, BalancedPlacementLowersExpectedMaxLoad) {
+  const auto probs = expert_probabilities(64, RoutingModel{1.2});
+  const double contig = expected_max_load_factor_for_placement(
+      probs, contiguous_placement(64, 4), 4, 8192);
+  const double bal = expected_max_load_factor_for_placement(
+      probs, balanced_placement(probs, 4), 4, 8192);
+  EXPECT_LT(bal, contig);
+  EXPECT_GE(bal, 1.0);
+}
+
+TEST(Placement, Validation) {
+  EXPECT_THROW(balanced_placement({0.5, 0.5}, 4), Error);
+  EXPECT_THROW(balanced_placement({0.5, -0.1, 0.6}, 2), Error);
+  EXPECT_THROW(placement_max_mass({0.5, 0.5}, {0}, 2), Error);
+  EXPECT_THROW(placement_max_mass({1.0}, {3}, 2), Error);
+}
+
+// Monte-Carlo validation: the Gaussian extreme-value approximation of the
+// expected max device load must track empirical multinomial sampling.
+TEST(Placement, AnalyticMatchesMonteCarlo) {
+  Rng rng(11);
+  for (double skew : {0.0, 1.0}) {
+    const int E = 32, g = 4;
+    const double n = 512.0;
+    const auto probs = expert_probabilities(E, RoutingModel{skew});
+    const auto placement = contiguous_placement(E, g);
+
+    const int trials = 400;
+    double emp = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<int> load(g, 0);
+      for (int draw = 0; draw < static_cast<int>(n); ++draw) {
+        const auto e = rng.categorical(probs);
+        ++load[placement[e]];
+      }
+      emp += *std::max_element(load.begin(), load.end());
+    }
+    emp /= trials;
+    const double emp_factor = emp / (n / g);
+    const double analytic =
+        expected_max_load_factor_for_placement(probs, placement, g, n);
+    EXPECT_NEAR(analytic, emp_factor, 0.15 * emp_factor) << "skew " << skew;
+  }
+}
+
+}  // namespace
+}  // namespace mib::parallel

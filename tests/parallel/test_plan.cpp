@@ -1,0 +1,74 @@
+#include "parallel/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "models/zoo.h"
+
+namespace mib::parallel {
+namespace {
+
+TEST(Plan, Labels) {
+  EXPECT_EQ(tp_plan(4).label(), "TP4");
+  EXPECT_EQ(tp_plan(1).label(), "TP1");
+  EXPECT_EQ(tp_ep_plan(4).label(), "TP4+EP");
+  EXPECT_EQ(pp_plan(4).label(), "PP4");
+  EXPECT_EQ(pp_ep_plan(4).label(), "TP2xPP2+EP");
+}
+
+TEST(Plan, DeviceCounts) {
+  EXPECT_EQ(tp_plan(4).devices(), 4);
+  EXPECT_EQ(pp_ep_plan(4).devices(), 4);
+  EXPECT_EQ((ParallelPlan{2, 3, false}).devices(), 6);
+}
+
+TEST(Plan, SingleDeviceVariantsDegrade) {
+  EXPECT_FALSE(tp_ep_plan(1).ep);
+  EXPECT_EQ(pp_ep_plan(1).devices(), 1);
+}
+
+TEST(Plan, ValidatesHeadDivisibility) {
+  const auto m = models::mixtral_8x7b();  // 32 heads
+  tp_plan(4).validate(m);
+  tp_plan(8).validate(m);
+  EXPECT_THROW(tp_plan(3).validate(m), Error);
+}
+
+TEST(Plan, ValidatesExpertDivisibilityForEp) {
+  const auto m = models::mixtral_8x7b();  // 8 experts
+  tp_ep_plan(4).validate(m);
+  EXPECT_THROW(tp_ep_plan(3).validate(m), Error);
+  const auto qwen = models::qwen15_moe_a27b();  // 60 experts
+  tp_ep_plan(4).validate(qwen);
+  ParallelPlan bad{8, 1, true};  // 60 % 8 != 0
+  EXPECT_THROW(bad.validate(qwen), Error);
+}
+
+TEST(Plan, EpRequiresMoE) {
+  const auto dense = models::qwen3_1_7b();
+  ParallelPlan p{2, 1, true};
+  EXPECT_THROW(p.validate(dense), Error);
+}
+
+TEST(Plan, PpBoundedByLayers) {
+  const auto m = models::olmoe_1b_7b();  // 16 layers
+  pp_plan(16).validate(m);
+  EXPECT_THROW(pp_plan(17).validate(m), Error);
+}
+
+TEST(Plan, ExpertsPerDevice) {
+  const auto m = models::olmoe_1b_7b();  // 64 experts
+  EXPECT_EQ(tp_plan(4).experts_per_device(m), 64);   // TP slices, all resident
+  EXPECT_EQ(tp_ep_plan(4).experts_per_device(m), 16);
+  EXPECT_EQ(tp_plan(1).experts_per_device(models::qwen3_1_7b()), 0);
+}
+
+TEST(Plan, InvalidDegreesRejected) {
+  EXPECT_THROW(tp_plan(0), Error);
+  EXPECT_THROW(pp_plan(-1), Error);
+  ParallelPlan p{0, 1, false};
+  EXPECT_THROW(p.validate(models::olmoe_1b_7b()), Error);
+}
+
+}  // namespace
+}  // namespace mib::parallel

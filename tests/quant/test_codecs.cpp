@@ -1,0 +1,198 @@
+#include "quant/codecs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace mib::quant {
+namespace {
+
+TEST(FP16, ExactValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(fp16_roundtrip(v), v) << v;
+  }
+}
+
+TEST(FP16, KnownBitPatterns) {
+  EXPECT_EQ(fp16_encode(1.0f), 0x3C00);
+  EXPECT_EQ(fp16_encode(-2.0f), 0xC000);
+  EXPECT_EQ(fp16_encode(0.0f), 0x0000);
+  EXPECT_EQ(fp16_encode(65504.0f), 0x7BFF);
+  EXPECT_FLOAT_EQ(fp16_decode(0x3C00), 1.0f);
+  EXPECT_FLOAT_EQ(fp16_decode(0x3555), 0.333251953125f);
+}
+
+TEST(FP16, SubnormalsPreserved) {
+  const float smallest_subnormal = std::ldexp(1.0f, -24);
+  EXPECT_EQ(fp16_roundtrip(smallest_subnormal), smallest_subnormal);
+  EXPECT_EQ(fp16_encode(smallest_subnormal), 0x0001);
+  // Below half the smallest subnormal -> rounds to zero.
+  EXPECT_EQ(fp16_roundtrip(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(FP16, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(fp16_roundtrip(1e6f)));
+  EXPECT_TRUE(std::isinf(fp16_roundtrip(-1e6f)));
+  EXPECT_LT(fp16_roundtrip(-1e6f), 0.0f);
+}
+
+TEST(FP16, RoundToNearestEvenTie) {
+  // 2048 + 1 = 2049 is exactly between 2048 and 2050 (step 2 at this
+  // binade); RNE picks 2048 (even mantissa).
+  EXPECT_EQ(fp16_roundtrip(2049.0f), 2048.0f);
+  EXPECT_EQ(fp16_roundtrip(2051.0f), 2052.0f);
+}
+
+TEST(FP16, NanPropagates) {
+  EXPECT_TRUE(std::isnan(
+      fp16_decode(fp16_encode(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(FP16, InfinityEncodes) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(fp16_encode(inf), 0x7C00);
+  EXPECT_TRUE(std::isinf(fp16_decode(0x7C00)));
+  EXPECT_TRUE(std::isinf(fp16_decode(0xFC00)));
+  EXPECT_LT(fp16_decode(0xFC00), 0.0f);
+}
+
+TEST(BF16, TruncatesMantissa) {
+  EXPECT_EQ(bf16_roundtrip(1.0f), 1.0f);
+  // bf16 has 8 mantissa bits: 1 + 2^-9 is not representable.
+  const float x = 1.0f + std::ldexp(1.0f, -9);
+  const float r = bf16_roundtrip(x);
+  EXPECT_TRUE(r == 1.0f || r == 1.0f + std::ldexp(1.0f, -8));
+}
+
+TEST(BF16, LargeDynamicRange) {
+  // bf16 shares float32's exponent: 1e38 survives.
+  EXPECT_NEAR(bf16_roundtrip(1e38f), 1e38f, 1e36f);
+}
+
+TEST(BF16, RoundsToNearestEven) {
+  // 1 + 2^-8 representable; 1 + 3*2^-9 is a tie -> rounds to even.
+  const float tie = 1.0f + 3.0f * std::ldexp(1.0f, -9);
+  const float r = bf16_roundtrip(tie);
+  EXPECT_EQ(r, 1.0f + 2.0f * std::ldexp(1.0f, -8));
+}
+
+TEST(FP8E4M3, ExactSmallValues) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 448.0f, -448.0f, 0.0625f}) {
+    EXPECT_EQ(fp8e4m3_roundtrip(v), v) << v;
+  }
+}
+
+TEST(FP8E4M3, SaturatesInsteadOfInf) {
+  EXPECT_EQ(fp8e4m3_roundtrip(1000.0f), 448.0f);
+  EXPECT_EQ(fp8e4m3_roundtrip(-1000.0f), -448.0f);
+  EXPECT_EQ(fp8e4m3_roundtrip(std::numeric_limits<float>::infinity()),
+            448.0f);
+}
+
+TEST(FP8E4M3, KnownBits) {
+  // 448 = 1.75 * 2^8: biased exp 15, mantissa 110 -> 0x7E.
+  EXPECT_EQ(fp8e4m3_encode(448.0f), 0x7E);
+  EXPECT_FLOAT_EQ(fp8e4m3_decode(0x7E), 448.0f);
+  // NaN code 0x7F.
+  EXPECT_TRUE(std::isnan(fp8e4m3_decode(0x7F)));
+  EXPECT_TRUE(std::isnan(fp8e4m3_decode(0xFF)));
+}
+
+TEST(FP8E4M3, Subnormals) {
+  // Smallest subnormal: 2^-9.
+  const float s = std::ldexp(1.0f, -9);
+  EXPECT_EQ(fp8e4m3_roundtrip(s), s);
+  EXPECT_EQ(fp8e4m3_encode(s), 0x01);
+}
+
+TEST(FP8E4M3, ThreeMantissaBitsResolution) {
+  // Between 16 and 18 the step is 2: 17 is a tie -> 16 (even).
+  EXPECT_EQ(fp8e4m3_roundtrip(17.0f), 16.0f);
+  EXPECT_EQ(fp8e4m3_roundtrip(19.0f), 20.0f);
+}
+
+TEST(FP8E5M2, HasInfinity) {
+  EXPECT_TRUE(std::isinf(fp8e5m2_roundtrip(1e6f)));
+  EXPECT_EQ(fp8e5m2_roundtrip(57344.0f), 57344.0f);
+}
+
+TEST(FP8E5M2, CoarserThanE4M3Near1) {
+  // e5m2 has 2 mantissa bits: step at [1,2) is 0.25.
+  EXPECT_EQ(fp8e5m2_roundtrip(1.25f), 1.25f);
+  EXPECT_EQ(fp8e5m2_roundtrip(1.13f), 1.25f);  // nearest
+  EXPECT_EQ(fp8e5m2_roundtrip(1.05f), 1.0f);
+}
+
+TEST(FP8E5M2, WiderRangeThanE4M3) {
+  EXPECT_GT(kFP8E5M2Max, kFP8E4M3Max);
+  EXPECT_EQ(fp8e5m2_roundtrip(1024.0f), 1024.0f);
+}
+
+TEST(Codecs, SignSymmetry) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const float x = static_cast<float>(rng.normal()) * 10.0f;
+    EXPECT_EQ(fp16_roundtrip(-x), -fp16_roundtrip(x));
+    EXPECT_EQ(fp8e4m3_roundtrip(-x), -fp8e4m3_roundtrip(x));
+    EXPECT_EQ(fp8e5m2_roundtrip(-x), -fp8e5m2_roundtrip(x));
+  }
+}
+
+TEST(Codecs, RoundTripIsIdempotent) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const float x = static_cast<float>(rng.normal()) * 100.0f;
+    const float q16 = fp16_roundtrip(x);
+    EXPECT_EQ(fp16_roundtrip(q16), q16);
+    const float q8 = fp8e4m3_roundtrip(x);
+    EXPECT_EQ(fp8e4m3_roundtrip(q8), q8);
+    const float q52 = fp8e5m2_roundtrip(x);
+    EXPECT_EQ(fp8e5m2_roundtrip(q52), q52);
+    const float qb = bf16_roundtrip(x);
+    EXPECT_EQ(bf16_roundtrip(qb), qb);
+  }
+}
+
+TEST(Codecs, EncodeDecodeMatchesRoundtrip) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const float x = static_cast<float>(rng.normal());
+    EXPECT_EQ(fp16_decode(fp16_encode(x)), fp16_roundtrip(x));
+    EXPECT_EQ(fp8e4m3_decode(fp8e4m3_encode(x)), fp8e4m3_roundtrip(x));
+    EXPECT_EQ(fp8e5m2_decode(fp8e5m2_encode(x)), fp8e5m2_roundtrip(x));
+  }
+}
+
+TEST(Codecs, MonotoneOnSamples) {
+  // Quantization must preserve ordering (weak monotonicity).
+  Rng rng(11);
+  std::vector<float> xs;
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back(static_cast<float>(rng.normal()) * 50.0f);
+  }
+  std::sort(xs.begin(), xs.end());
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_LE(fp16_roundtrip(xs[i - 1]), fp16_roundtrip(xs[i]));
+    EXPECT_LE(fp8e4m3_roundtrip(xs[i - 1]), fp8e4m3_roundtrip(xs[i]));
+  }
+}
+
+TEST(Codecs, RelativeErrorBounds) {
+  // Max relative error of RNE is half the LSB: 2^-11 (fp16), 2^-4 (e4m3),
+  // 2^-3 (e5m2) for normal-range values.
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const float x = static_cast<float>(rng.uniform(0.1, 100.0));
+    EXPECT_LE(std::abs(fp16_roundtrip(x) - x) / x, std::ldexp(1.0, -11) * 1.01);
+    EXPECT_LE(std::abs(fp8e4m3_roundtrip(x) - x) / x,
+              std::ldexp(1.0, -4) * 1.01);
+    EXPECT_LE(std::abs(fp8e5m2_roundtrip(x) - x) / x,
+              std::ldexp(1.0, -3) * 1.01);
+  }
+}
+
+}  // namespace
+}  // namespace mib::quant

@@ -1,0 +1,133 @@
+// Exhaustive codec validation: every representable code must round-trip
+// exactly (decode -> encode == identity), and encode must map every float
+// to its *nearest* representable value. These sweeps cover the entire fp8
+// code spaces and the full 65,536-code fp16 space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "quant/codecs.h"
+
+namespace mib::quant {
+namespace {
+
+TEST(ExhaustiveFp8E4M3, AllCodesRoundTrip) {
+  for (int code = 0; code < 256; ++code) {
+    const auto bits = static_cast<std::uint8_t>(code);
+    const float v = fp8e4m3_decode(bits);
+    if (std::isnan(v)) {
+      EXPECT_TRUE(std::isnan(fp8e4m3_decode(fp8e4m3_encode(v))));
+      continue;
+    }
+    const std::uint8_t re = fp8e4m3_encode(v);
+    // -0 and +0 may collapse; compare decoded values instead of bits.
+    EXPECT_EQ(fp8e4m3_decode(re), v) << "code " << code;
+  }
+}
+
+TEST(ExhaustiveFp8E5M2, AllCodesRoundTrip) {
+  for (int code = 0; code < 256; ++code) {
+    const auto bits = static_cast<std::uint8_t>(code);
+    const float v = fp8e5m2_decode(bits);
+    if (std::isnan(v)) {
+      EXPECT_TRUE(std::isnan(fp8e5m2_decode(fp8e5m2_encode(v))));
+      continue;
+    }
+    const std::uint8_t re = fp8e5m2_encode(v);
+    EXPECT_EQ(fp8e5m2_decode(re), v) << "code " << code;
+  }
+}
+
+TEST(ExhaustiveFp16, AllCodesRoundTrip) {
+  for (std::uint32_t code = 0; code < 65536; ++code) {
+    const auto bits = static_cast<std::uint16_t>(code);
+    const float v = fp16_decode(bits);
+    if (std::isnan(v)) {
+      EXPECT_TRUE(std::isnan(fp16_decode(fp16_encode(v))));
+      continue;
+    }
+    const std::uint16_t re = fp16_encode(v);
+    EXPECT_EQ(fp16_decode(re), v) << "code " << code;
+  }
+}
+
+TEST(ExhaustiveFp8E4M3, EncodeIsNearest) {
+  // Collect all finite e4m3 values, then check that encode() of arbitrary
+  // floats lands on the closest one (saturating at the ends).
+  std::vector<float> grid;
+  for (int code = 0; code < 256; ++code) {
+    const float v = fp8e4m3_decode(static_cast<std::uint8_t>(code));
+    if (!std::isnan(v)) grid.push_back(v);
+  }
+  auto nearest = [&](float x) {
+    float best = grid[0];
+    for (float g : grid) {
+      if (std::abs(g - x) < std::abs(best - x)) best = g;
+    }
+    return best;
+  };
+  for (float x : {0.0613f, -0.73f, 1.9f, 3.14159f, -17.2f, 200.0f, 447.0f,
+                  500.0f, 1e-3f, -1e-4f, 0.34f}) {
+    const float got = fp8e4m3_roundtrip(x);
+    const float want = nearest(x);
+    // Ties can go either way under RNE; accept both sides of a tie.
+    EXPECT_LE(std::abs(got - x), std::abs(want - x) + 1e-12f) << x;
+  }
+}
+
+TEST(ExhaustiveFp16, MatchesNativeConversionOnSamples) {
+  // Cross-check against the compiler's float -> _Float16 conversion where
+  // available (GCC/Clang on x86-64 provide _Float16).
+#if defined(__FLT16_MAX__)
+  for (float x : {0.1f, 1.0f / 3.0f, 2.7182818f, -123.456f, 6.1e-5f,
+                  65000.0f, -3.0517578e-5f, 9.999e3f}) {
+    const auto native = static_cast<float>(static_cast<_Float16>(x));
+    EXPECT_EQ(fp16_roundtrip(x), native) << x;
+  }
+#else
+  GTEST_SKIP() << "no native _Float16 on this toolchain";
+#endif
+}
+
+TEST(ExhaustiveFp16, OrderPreservedAcrossAllCodes) {
+  // Decoding in ascending positive code order yields ascending values.
+  float prev = fp16_decode(0x0000);
+  for (std::uint32_t code = 1; code < 0x7C00; ++code) {  // positive finites
+    const float v = fp16_decode(static_cast<std::uint16_t>(code));
+    EXPECT_GT(v, prev) << "code " << code;
+    prev = v;
+  }
+}
+
+TEST(ExhaustiveFp8E4M3, CountRepresentableValues) {
+  // e4m3 has 256 codes: 2 NaN (0x7F, 0xFF), +0 and -0, leaving 254
+  // distinct-by-bits values; magnitudes are symmetric.
+  int nans = 0, finites = 0;
+  for (int code = 0; code < 256; ++code) {
+    const float v = fp8e4m3_decode(static_cast<std::uint8_t>(code));
+    if (std::isnan(v)) {
+      ++nans;
+    } else {
+      EXPECT_TRUE(std::isfinite(v));  // e4m3 has no infinities
+      ++finites;
+    }
+  }
+  EXPECT_EQ(nans, 2);
+  EXPECT_EQ(finites, 254);
+}
+
+TEST(ExhaustiveFp8E5M2, HasInfinitiesAndNans) {
+  int infs = 0, nans = 0;
+  for (int code = 0; code < 256; ++code) {
+    const float v = fp8e5m2_decode(static_cast<std::uint8_t>(code));
+    if (std::isinf(v)) ++infs;
+    if (std::isnan(v)) ++nans;
+  }
+  EXPECT_EQ(infs, 2);   // +inf, -inf
+  EXPECT_EQ(nans, 6);   // 3 mantissa NaN codes x 2 signs
+}
+
+}  // namespace
+}  // namespace mib::quant

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quant/quantize.h"
+
+namespace mib::quant {
+namespace {
+
+TEST(GroupQuant, FinerThanPerRowOnScaleBursts) {
+  // A row whose magnitude jumps mid-row: per-row wastes range on the quiet
+  // half; per-group (128) isolates the burst.
+  Rng rng(3);
+  Tensor t({4, 256});
+  for (std::size_t r = 0; r < 4; ++r) {
+    auto row = t.row(r);
+    for (std::size_t j = 0; j < 256; ++j) {
+      const float scale = j < 128 ? 0.01f : 10.0f;
+      row[j] = static_cast<float>(rng.normal()) * scale;
+    }
+  }
+  Tensor t2 = t;
+  const auto per_row =
+      fake_quantize_tensor(t, DType::kINT4, Granularity::kPerRow);
+  const auto per_group =
+      fake_quantize_tensor(t2, DType::kINT4, Granularity::kPerGroup);
+  EXPECT_LT(per_group.rel_err, per_row.rel_err);
+  // The quiet half survives under per-group but is wiped per-row.
+  float quiet_row = 0.0f, quiet_group = 0.0f;
+  for (std::size_t j = 0; j < 128; ++j) {
+    quiet_row += std::abs(t.at(0, j));
+    quiet_group += std::abs(t2.at(0, j));
+  }
+  EXPECT_EQ(quiet_row, 0.0f);
+  EXPECT_GT(quiet_group, 0.0f);
+}
+
+TEST(GroupQuant, EqualsPerRowWhenRowFitsOneGroup) {
+  Rng rng(5);
+  Tensor a = Tensor::randn({8, 128}, rng, 0.1f);
+  Tensor b = a;
+  const auto er = fake_quantize_tensor(a, DType::kINT8, Granularity::kPerRow);
+  const auto eg =
+      fake_quantize_tensor(b, DType::kINT8, Granularity::kPerGroup);
+  EXPECT_DOUBLE_EQ(er.rel_err, eg.rel_err);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0f);
+}
+
+TEST(GroupQuant, HandlesRaggedTail) {
+  // Row of 200 = one full group of 128 + a 72-element tail.
+  Rng rng(7);
+  Tensor t = Tensor::randn({2, 200}, rng, 0.1f);
+  const auto err =
+      fake_quantize_tensor(t, DType::kINT4, Granularity::kPerGroup);
+  EXPECT_GT(err.rel_err, 0.0);
+  EXPECT_LT(err.rel_err, 0.25);
+}
+
+TEST(GroupQuant, StorageOverheadBetweenRowAndTensor) {
+  const double tensor_bits =
+      storage_bits_per_value(DType::kINT4, Granularity::kPerTensor, 4096);
+  const double row_bits =
+      storage_bits_per_value(DType::kINT4, Granularity::kPerRow, 4096);
+  const double group_bits =
+      storage_bits_per_value(DType::kINT4, Granularity::kPerGroup, 4096);
+  EXPECT_LT(tensor_bits, row_bits);
+  EXPECT_LT(row_bits, group_bits);
+  // GPTQ-style int4 g128: 4 + 32/128 = 4.25 bits/value.
+  EXPECT_NEAR(group_bits, 4.25, 1e-12);
+}
+
+TEST(GroupQuant, ErrorOrderingAcrossGranularities) {
+  // Gaussian weights with per-row scale drift: group <= row <= tensor.
+  Rng rng(9);
+  Tensor base({16, 512});
+  for (std::size_t r = 0; r < 16; ++r) {
+    const float s = 0.01f * static_cast<float>(r + 1);
+    for (auto& v : base.row(r)) v = static_cast<float>(rng.normal()) * s;
+  }
+  auto err = [&](Granularity g) {
+    Tensor t = base;
+    return fake_quantize_tensor(t, DType::kINT4, g).rel_err;
+  };
+  const double eg = err(Granularity::kPerGroup);
+  const double er = err(Granularity::kPerRow);
+  const double et = err(Granularity::kPerTensor);
+  EXPECT_LE(eg, er * 1.001);
+  EXPECT_LT(er, et);
+}
+
+}  // namespace
+}  // namespace mib::quant

@@ -1,0 +1,66 @@
+// Monte-Carlo validation of the speculative-decoding acceptance model: the
+// closed form E[k, alpha] = (1 - alpha^(k+1)) / (1 - alpha) must match
+// empirical simulation of the accept/reject chain.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "specdec/acceptance.h"
+
+namespace mib::specdec {
+namespace {
+
+/// Simulate one speculation cycle: k draft tokens accepted i.i.d. with
+/// probability alpha; the first rejection is replaced by the target's
+/// corrected token; full acceptance earns the bonus token.
+int simulate_cycle(double alpha, int k, Rng& rng) {
+  int accepted = 0;
+  while (accepted < k && rng.bernoulli(alpha)) ++accepted;
+  return accepted + 1;  // corrected token or bonus token
+}
+
+using AlphaK = std::tuple<double, int>;
+
+class McAcceptance : public ::testing::TestWithParam<AlphaK> {};
+
+TEST_P(McAcceptance, ClosedFormMatchesSimulation) {
+  const auto [alpha, k] = GetParam();
+  Rng rng(0xC0FFEE);
+  const int trials = 200000;
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    total += simulate_cycle(alpha, k, rng);
+  }
+  const double empirical = total / trials;
+  const double analytic = expected_tokens_per_cycle(alpha, k);
+  EXPECT_NEAR(empirical, analytic, 0.01 * analytic)
+      << "alpha=" << alpha << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, McAcceptance,
+    ::testing::Combine(::testing::Values(0.3, 0.55, 0.72, 0.9),
+                       ::testing::Values(1, 2, 4, 8)),
+    [](const ::testing::TestParamInfo<AlphaK>& info) {
+      return "a" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(McAcceptance, CycleOutputBounds) {
+  Rng rng(1);
+  for (int t = 0; t < 1000; ++t) {
+    const int out = simulate_cycle(0.7, 4, rng);
+    EXPECT_GE(out, 1);
+    EXPECT_LE(out, 5);  // k accepted + bonus
+  }
+}
+
+TEST(McAcceptance, ZeroAlphaAlwaysOneToken) {
+  Rng rng(2);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(simulate_cycle(0.0, 8, rng), 1);
+  }
+}
+
+}  // namespace
+}  // namespace mib::specdec

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "workload/generator.h"
+
+namespace mib::workload {
+namespace {
+
+TEST(Conversations, ShapeAndGrowth) {
+  ConversationConfig cfg;
+  cfg.n_conversations = 4;
+  cfg.turns_per_conversation = 3;
+  cfg.system_prompt_tokens = 128;
+  const auto turns = generate_conversations(cfg);
+  ASSERT_EQ(turns.size(), 12u);
+  for (const auto& t : turns) {
+    // Every turn's prompt contains at least the shared prefix.
+    EXPECT_GE(t.request.input_tokens, t.shared_prefix_tokens);
+    EXPECT_GE(t.shared_prefix_tokens, 128);
+    EXPECT_GE(t.request.output_tokens, 16);
+  }
+  // Within a conversation, history grows monotonically.
+  for (std::size_t i = 1; i < turns.size(); ++i) {
+    if (turns[i].conversation == turns[i - 1].conversation) {
+      EXPECT_GT(turns[i].shared_prefix_tokens,
+                turns[i - 1].shared_prefix_tokens);
+      EXPECT_EQ(turns[i].turn, turns[i - 1].turn + 1);
+    }
+  }
+}
+
+TEST(Conversations, HistoryAccountingExact) {
+  // shared_prefix(turn n+1) = input(turn n) + output(turn n).
+  ConversationConfig cfg;
+  cfg.n_conversations = 1;
+  cfg.turns_per_conversation = 4;
+  const auto turns = generate_conversations(cfg);
+  for (std::size_t i = 1; i < turns.size(); ++i) {
+    EXPECT_EQ(turns[i].shared_prefix_tokens,
+              turns[i - 1].request.input_tokens +
+                  turns[i - 1].request.output_tokens);
+  }
+}
+
+TEST(Conversations, FirstTurnSharesOnlySystemPrompt) {
+  ConversationConfig cfg;
+  cfg.system_prompt_tokens = 777;
+  const auto turns = generate_conversations(cfg);
+  for (const auto& t : turns) {
+    if (t.turn == 0) EXPECT_EQ(t.shared_prefix_tokens, 777);
+  }
+}
+
+TEST(Conversations, DeterministicBySeed) {
+  ConversationConfig cfg;
+  const auto a = generate_conversations(cfg);
+  const auto b = generate_conversations(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].request.input_tokens, b[i].request.input_tokens);
+  }
+}
+
+TEST(Conversations, SharedFractionIsLarge) {
+  // The prefix-caching motivation: most prompt tokens are reusable.
+  ConversationConfig cfg;
+  cfg.turns_per_conversation = 6;
+  const auto turns = generate_conversations(cfg);
+  double shared = 0.0, total = 0.0;
+  for (const auto& t : turns) {
+    shared += t.shared_prefix_tokens;
+    total += t.request.input_tokens;
+  }
+  EXPECT_GT(shared / total, 0.7);
+}
+
+TEST(Conversations, Validation) {
+  ConversationConfig bad;
+  bad.n_conversations = 0;
+  EXPECT_THROW(generate_conversations(bad), Error);
+  bad = ConversationConfig{};
+  bad.system_prompt_tokens = 0;
+  EXPECT_THROW(generate_conversations(bad), Error);
+}
+
+}  // namespace
+}  // namespace mib::workload

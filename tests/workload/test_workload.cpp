@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+#include "models/zoo.h"
+#include "parallel/expert_placement.h"
+#include "workload/activation_study.h"
+#include "workload/generator.h"
+
+namespace mib::workload {
+namespace {
+
+TEST(Generator, TraceRespectsBounds) {
+  TraceConfig cfg;
+  cfg.n_requests = 200;
+  cfg.input = {32, 1024, 1.0};
+  cfg.output = {16, 256, 0.5};
+  cfg.images_per_request = 1;
+  const auto trace = generate_trace(cfg);
+  ASSERT_EQ(trace.size(), 200u);
+  for (const auto& r : trace) {
+    EXPECT_GE(r.input_tokens, 32);
+    EXPECT_LE(r.input_tokens, 1024);
+    EXPECT_GE(r.output_tokens, 16);
+    EXPECT_LE(r.output_tokens, 256);
+    EXPECT_EQ(r.n_images, 1);
+  }
+}
+
+TEST(Generator, DeterministicBySeed) {
+  TraceConfig cfg;
+  cfg.n_requests = 50;
+  const auto a = generate_trace(cfg);
+  const auto b = generate_trace(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].input_tokens, b[i].input_tokens);
+    EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+  }
+  cfg.seed = 43;
+  const auto c = generate_trace(cfg);
+  int diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff += a[i].input_tokens != c[i].input_tokens;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(Generator, SkewBiasesShort) {
+  TraceConfig skew;
+  skew.n_requests = 2000;
+  skew.input = {16, 2048, 2.0};
+  TraceConfig flat = skew;
+  flat.input.skew = 0.0;
+  auto mean_in = [](const std::vector<engine::Request>& t) {
+    double s = 0;
+    for (const auto& r : t) s += r.input_tokens;
+    return s / t.size();
+  };
+  EXPECT_LT(mean_in(generate_trace(skew)), mean_in(generate_trace(flat)));
+}
+
+TEST(Generator, FixedLengthDegenerate) {
+  TraceConfig cfg;
+  cfg.n_requests = 10;
+  cfg.input = {128, 128, 1.0};
+  cfg.output = {128, 128, 1.0};
+  for (const auto& r : generate_trace(cfg)) {
+    EXPECT_EQ(r.input_tokens, 128);
+    EXPECT_EQ(r.output_tokens, 128);
+  }
+}
+
+TEST(Generator, PaperGrids) {
+  EXPECT_EQ(paper_batch_sizes(), (std::vector<int>{1, 16, 32, 64}));
+  EXPECT_EQ(paper_sequence_lengths(),
+            (std::vector<int>{128, 256, 512, 1024, 2048}));
+  EXPECT_EQ(extended_batch_sizes().back(), 128);
+}
+
+TEST(Generator, UniformBatchHelper) {
+  const auto b = engine::make_uniform_batch(4, 128, 64, 1);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0].input_tokens, 128);
+  EXPECT_EQ(b[3].n_images, 1);
+  EXPECT_THROW(engine::make_uniform_batch(0, 1, 1), Error);
+  EXPECT_THROW(engine::make_uniform_batch(1, 0, 1), Error);
+}
+
+TEST(ActivationStudy, CountsAddUp) {
+  ActivationStudy study(models::olmoe_1b_7b(), {});
+  study.run(500);
+  const auto& hm = study.heatmap();
+  ASSERT_EQ(hm.size(), 16u);  // layers
+  ASSERT_EQ(hm[0].size(), 64u);
+  for (const auto& layer : hm) {
+    const auto total = std::accumulate(layer.begin(), layer.end(),
+                                       std::uint64_t{0});
+    EXPECT_EQ(total, 500u * 8u);  // tokens * top_k
+  }
+}
+
+TEST(ActivationStudy, BalancedRouterIsNearUniform) {
+  ActivationStudy study(models::deepseek_vl2_tiny(), {});
+  study.run(3000);
+  EXPECT_LT(study.mean_cv(), 0.6);
+  EXPECT_LT(study.mean_imbalance(), 2.5);
+}
+
+TEST(ActivationStudy, SkewedRouterConcentrates) {
+  ActivationStudyConfig skew;
+  skew.router_skew = 4.0;
+  ActivationStudy balanced(models::molmoe_1b(), {});
+  ActivationStudy skewed(models::molmoe_1b(), skew);
+  balanced.run(3000);
+  skewed.run(3000);
+  EXPECT_GT(skewed.mean_cv(), 2.0 * balanced.mean_cv());
+  EXPECT_GT(skewed.mean_imbalance(), balanced.mean_imbalance());
+  EXPECT_GT(skewed.peak(), balanced.peak());
+}
+
+TEST(ActivationStudy, PeakBoundedByTotal) {
+  ActivationStudy study(models::olmoe_1b_7b(), {});
+  study.run(100);
+  EXPECT_LE(study.peak(), 100u * 8u);
+  EXPECT_GT(study.peak(), 0u);
+}
+
+TEST(ActivationStudy, RejectsDenseModels) {
+  EXPECT_THROW(ActivationStudy(models::qwen3_1_7b(), {}), Error);
+}
+
+TEST(ActivationStudy, DeterministicBySeed) {
+  ActivationStudy a(models::olmoe_1b_7b(), {});
+  ActivationStudy b(models::olmoe_1b_7b(), {});
+  a.run(200);
+  b.run(200);
+  EXPECT_EQ(a.heatmap(), b.heatmap());
+}
+
+// The functional router's empirical coverage should match the analytic
+// expected_distinct_experts formula used by the cost model.
+TEST(ActivationStudy, EmpiricalCoverageMatchesAnalytic) {
+  ActivationStudy study(models::olmoe_1b_7b(), {});
+  const int tokens = 40;  // few tokens: coverage well below E
+  study.run(tokens);
+  // Count distinct experts hit in layer 0.
+  int distinct = 0;
+  for (auto c : study.heatmap()[0]) distinct += c > 0;
+  const double expected = parallel::expected_distinct_experts(
+      64, tokens * 8.0, parallel::RoutingModel{});
+  EXPECT_NEAR(distinct, expected, 10.0);
+}
+
+}  // namespace
+}  // namespace mib::workload
