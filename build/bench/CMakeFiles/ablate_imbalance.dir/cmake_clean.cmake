@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_imbalance.dir/ablate_imbalance.cpp.o"
+  "CMakeFiles/ablate_imbalance.dir/ablate_imbalance.cpp.o.d"
+  "ablate_imbalance"
+  "ablate_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_kvcache.dir/ablate_kvcache.cpp.o"
+  "CMakeFiles/ablate_kvcache.dir/ablate_kvcache.cpp.o.d"
+  "ablate_kvcache"
+  "ablate_kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

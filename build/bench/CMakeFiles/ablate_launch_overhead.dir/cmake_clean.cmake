@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_launch_overhead.dir/ablate_launch_overhead.cpp.o"
+  "CMakeFiles/ablate_launch_overhead.dir/ablate_launch_overhead.cpp.o.d"
+  "ablate_launch_overhead"
+  "ablate_launch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_launch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_prefix_cache.dir/ablate_prefix_cache.cpp.o"
+  "CMakeFiles/ablate_prefix_cache.dir/ablate_prefix_cache.cpp.o.d"
+  "ablate_prefix_cache"
+  "ablate_prefix_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_prefix_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_scheduler.dir/ablate_scheduler.cpp.o"
+  "CMakeFiles/ablate_scheduler.dir/ablate_scheduler.cpp.o.d"
+  "ablate_scheduler"
+  "ablate_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_disaggregation.dir/extra_disaggregation.cpp.o"
+  "CMakeFiles/extra_disaggregation.dir/extra_disaggregation.cpp.o.d"
+  "extra_disaggregation"
+  "extra_disaggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_disaggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

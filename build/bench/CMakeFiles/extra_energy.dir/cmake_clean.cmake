@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_energy.dir/extra_energy.cpp.o"
+  "CMakeFiles/extra_energy.dir/extra_energy.cpp.o.d"
+  "extra_energy"
+  "extra_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_frontier_capacity.dir/extra_frontier_capacity.cpp.o"
+  "CMakeFiles/extra_frontier_capacity.dir/extra_frontier_capacity.cpp.o.d"
+  "extra_frontier_capacity"
+  "extra_frontier_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_frontier_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_hw_generations.dir/extra_hw_generations.cpp.o"
+  "CMakeFiles/extra_hw_generations.dir/extra_hw_generations.cpp.o.d"
+  "extra_hw_generations"
+  "extra_hw_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_hw_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_offload.dir/extra_offload.cpp.o"
+  "CMakeFiles/extra_offload.dir/extra_offload.cpp.o.d"
+  "extra_offload"
+  "extra_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_optimization_frontier.dir/extra_optimization_frontier.cpp.o"
+  "CMakeFiles/extra_optimization_frontier.dir/extra_optimization_frontier.cpp.o.d"
+  "extra_optimization_frontier"
+  "extra_optimization_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_optimization_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_param_breakdown.dir/fig01_param_breakdown.cpp.o"
+  "CMakeFiles/fig01_param_breakdown.dir/fig01_param_breakdown.cpp.o.d"
+  "fig01_param_breakdown"
+  "fig01_param_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_param_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

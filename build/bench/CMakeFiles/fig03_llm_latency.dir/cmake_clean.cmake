@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_llm_latency.dir/fig03_llm_latency.cpp.o"
+  "CMakeFiles/fig03_llm_latency.dir/fig03_llm_latency.cpp.o.d"
+  "fig03_llm_latency"
+  "fig03_llm_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_llm_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

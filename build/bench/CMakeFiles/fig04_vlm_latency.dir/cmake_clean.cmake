@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_vlm_latency.dir/fig04_vlm_latency.cpp.o"
+  "CMakeFiles/fig04_vlm_latency.dir/fig04_vlm_latency.cpp.o.d"
+  "fig04_vlm_latency"
+  "fig04_vlm_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_vlm_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_topk_batch.dir/fig05_topk_batch.cpp.o"
+  "CMakeFiles/fig05_topk_batch.dir/fig05_topk_batch.cpp.o.d"
+  "fig05_topk_batch"
+  "fig05_topk_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_topk_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_topk_batch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_topk_batch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_len_batch.dir/fig06_len_batch.cpp.o"
+  "CMakeFiles/fig06_len_batch.dir/fig06_len_batch.cpp.o.d"
+  "fig06_len_batch"
+  "fig06_len_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_len_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ffn_scaling.dir/fig07_ffn_scaling.cpp.o"
+  "CMakeFiles/fig07_ffn_scaling.dir/fig07_ffn_scaling.cpp.o.d"
+  "fig07_ffn_scaling"
+  "fig07_ffn_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ffn_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

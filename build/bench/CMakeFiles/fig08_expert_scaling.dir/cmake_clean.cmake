@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_expert_scaling.dir/fig08_expert_scaling.cpp.o"
+  "CMakeFiles/fig08_expert_scaling.dir/fig08_expert_scaling.cpp.o.d"
+  "fig08_expert_scaling"
+  "fig08_expert_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_expert_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

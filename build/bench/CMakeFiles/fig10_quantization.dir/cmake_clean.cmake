@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_quantization.dir/fig10_quantization.cpp.o"
+  "CMakeFiles/fig10_quantization.dir/fig10_quantization.cpp.o.d"
+  "fig10_quantization"
+  "fig10_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

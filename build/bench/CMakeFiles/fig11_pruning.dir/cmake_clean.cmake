@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pruning.dir/fig11_pruning.cpp.o"
+  "CMakeFiles/fig11_pruning.dir/fig11_pruning.cpp.o.d"
+  "fig11_pruning"
+  "fig11_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_specdec.dir/fig12_specdec.cpp.o"
+  "CMakeFiles/fig12_specdec.dir/fig12_specdec.cpp.o.d"
+  "fig12_specdec"
+  "fig12_specdec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_specdec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_fused_moe.dir/fig14_fused_moe.cpp.o"
+  "CMakeFiles/fig14_fused_moe.dir/fig14_fused_moe.cpp.o.d"
+  "fig14_fused_moe"
+  "fig14_fused_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_fused_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

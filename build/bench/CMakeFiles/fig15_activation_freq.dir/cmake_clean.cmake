@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_activation_freq.dir/fig15_activation_freq.cpp.o"
+  "CMakeFiles/fig15_activation_freq.dir/fig15_activation_freq.cpp.o.d"
+  "fig15_activation_freq"
+  "fig15_activation_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_activation_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_h100_vs_cs3.dir/fig16_h100_vs_cs3.cpp.o"
+  "CMakeFiles/fig16_h100_vs_cs3.dir/fig16_h100_vs_cs3.cpp.o.d"
+  "fig16_h100_vs_cs3"
+  "fig16_h100_vs_cs3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_h100_vs_cs3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_h100_vs_cs3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_llm_frontier.dir/fig17_llm_frontier.cpp.o"
+  "CMakeFiles/fig17_llm_frontier.dir/fig17_llm_frontier.cpp.o.d"
+  "fig17_llm_frontier"
+  "fig17_llm_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_llm_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_vlm_frontier.dir/fig18_vlm_frontier.cpp.o"
+  "CMakeFiles/fig18_vlm_frontier.dir/fig18_vlm_frontier.cpp.o.d"
+  "fig18_vlm_frontier"
+  "fig18_vlm_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_vlm_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_cpu_kernels.dir/moe_cpu_kernels.cpp.o"
+  "CMakeFiles/moe_cpu_kernels.dir/moe_cpu_kernels.cpp.o.d"
+  "moe_cpu_kernels"
+  "moe_cpu_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_cpu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_manifest.dir/suite_manifest.cpp.o"
+  "CMakeFiles/suite_manifest.dir/suite_manifest.cpp.o.d"
+  "suite_manifest"
+  "suite_manifest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_manifest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_architectures.dir/table1_architectures.cpp.o"
+  "CMakeFiles/table1_architectures.dir/table1_architectures.cpp.o.d"
+  "table1_architectures"
+  "table1_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_profile.dir/trace_profile.cpp.o"
+  "CMakeFiles/trace_profile.dir/trace_profile.cpp.o.d"
+  "trace_profile"
+  "trace_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_cli.dir/mib_cli.cpp.o"
+  "CMakeFiles/mib_cli.dir/mib_cli.cpp.o.d"
+  "mib_cli"
+  "mib_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

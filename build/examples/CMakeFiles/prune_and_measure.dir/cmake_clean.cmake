@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prune_and_measure.dir/prune_and_measure.cpp.o"
+  "CMakeFiles/prune_and_measure.dir/prune_and_measure.cpp.o.d"
+  "prune_and_measure"
+  "prune_and_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prune_and_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

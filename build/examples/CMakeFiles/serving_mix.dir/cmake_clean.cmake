@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_mix.dir/serving_mix.cpp.o"
+  "CMakeFiles/serving_mix.dir/serving_mix.cpp.o.d"
+  "serving_mix"
+  "serving_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

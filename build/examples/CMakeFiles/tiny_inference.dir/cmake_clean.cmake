@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiny_inference.dir/tiny_inference.cpp.o"
+  "CMakeFiles/tiny_inference.dir/tiny_inference.cpp.o.d"
+  "tiny_inference"
+  "tiny_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiny_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlm_pipeline.dir/vlm_pipeline.cpp.o"
+  "CMakeFiles/vlm_pipeline.dir/vlm_pipeline.cpp.o.d"
+  "vlm_pipeline"
+  "vlm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hw")
+subdirs("models")
+subdirs("quant")
+subdirs("moe")
+subdirs("engine")
+subdirs("parallel")
+subdirs("specdec")
+subdirs("workload")
+subdirs("accuracy")
+subdirs("core")

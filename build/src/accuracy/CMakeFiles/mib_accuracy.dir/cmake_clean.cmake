@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_accuracy.dir/optimization_impact.cpp.o"
+  "CMakeFiles/mib_accuracy.dir/optimization_impact.cpp.o.d"
+  "CMakeFiles/mib_accuracy.dir/registry.cpp.o"
+  "CMakeFiles/mib_accuracy.dir/registry.cpp.o.d"
+  "libmib_accuracy.a"
+  "libmib_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_common.dir/error.cpp.o"
+  "CMakeFiles/mib_common.dir/error.cpp.o.d"
+  "CMakeFiles/mib_common.dir/rng.cpp.o"
+  "CMakeFiles/mib_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mib_common.dir/stats.cpp.o"
+  "CMakeFiles/mib_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mib_common.dir/string_util.cpp.o"
+  "CMakeFiles/mib_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/mib_common.dir/table.cpp.o"
+  "CMakeFiles/mib_common.dir/table.cpp.o.d"
+  "CMakeFiles/mib_common.dir/tensor.cpp.o"
+  "CMakeFiles/mib_common.dir/tensor.cpp.o.d"
+  "CMakeFiles/mib_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mib_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/mib_common.dir/zipf.cpp.o"
+  "CMakeFiles/mib_common.dir/zipf.cpp.o.d"
+  "libmib_common.a"
+  "libmib_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

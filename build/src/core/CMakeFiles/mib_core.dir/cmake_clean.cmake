@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_core.dir/experiments.cpp.o"
+  "CMakeFiles/mib_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/mib_core.dir/report.cpp.o"
+  "CMakeFiles/mib_core.dir/report.cpp.o.d"
+  "CMakeFiles/mib_core.dir/scenario.cpp.o"
+  "CMakeFiles/mib_core.dir/scenario.cpp.o.d"
+  "libmib_core.a"
+  "libmib_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/disagg.cpp" "src/engine/CMakeFiles/mib_engine.dir/disagg.cpp.o" "gcc" "src/engine/CMakeFiles/mib_engine.dir/disagg.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/engine/CMakeFiles/mib_engine.dir/engine.cpp.o" "gcc" "src/engine/CMakeFiles/mib_engine.dir/engine.cpp.o.d"
+  "/root/repo/src/engine/kv_cache.cpp" "src/engine/CMakeFiles/mib_engine.dir/kv_cache.cpp.o" "gcc" "src/engine/CMakeFiles/mib_engine.dir/kv_cache.cpp.o.d"
+  "/root/repo/src/engine/layer_cost.cpp" "src/engine/CMakeFiles/mib_engine.dir/layer_cost.cpp.o" "gcc" "src/engine/CMakeFiles/mib_engine.dir/layer_cost.cpp.o.d"
+  "/root/repo/src/engine/memory.cpp" "src/engine/CMakeFiles/mib_engine.dir/memory.cpp.o" "gcc" "src/engine/CMakeFiles/mib_engine.dir/memory.cpp.o.d"
+  "/root/repo/src/engine/offload.cpp" "src/engine/CMakeFiles/mib_engine.dir/offload.cpp.o" "gcc" "src/engine/CMakeFiles/mib_engine.dir/offload.cpp.o.d"
+  "/root/repo/src/engine/scheduler.cpp" "src/engine/CMakeFiles/mib_engine.dir/scheduler.cpp.o" "gcc" "src/engine/CMakeFiles/mib_engine.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mib_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mib_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mib_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

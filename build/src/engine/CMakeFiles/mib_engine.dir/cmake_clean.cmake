@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_engine.dir/disagg.cpp.o"
+  "CMakeFiles/mib_engine.dir/disagg.cpp.o.d"
+  "CMakeFiles/mib_engine.dir/engine.cpp.o"
+  "CMakeFiles/mib_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/mib_engine.dir/kv_cache.cpp.o"
+  "CMakeFiles/mib_engine.dir/kv_cache.cpp.o.d"
+  "CMakeFiles/mib_engine.dir/layer_cost.cpp.o"
+  "CMakeFiles/mib_engine.dir/layer_cost.cpp.o.d"
+  "CMakeFiles/mib_engine.dir/memory.cpp.o"
+  "CMakeFiles/mib_engine.dir/memory.cpp.o.d"
+  "CMakeFiles/mib_engine.dir/offload.cpp.o"
+  "CMakeFiles/mib_engine.dir/offload.cpp.o.d"
+  "CMakeFiles/mib_engine.dir/scheduler.cpp.o"
+  "CMakeFiles/mib_engine.dir/scheduler.cpp.o.d"
+  "libmib_engine.a"
+  "libmib_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cluster.cpp" "src/hw/CMakeFiles/mib_hw.dir/cluster.cpp.o" "gcc" "src/hw/CMakeFiles/mib_hw.dir/cluster.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/mib_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/mib_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/interconnect.cpp" "src/hw/CMakeFiles/mib_hw.dir/interconnect.cpp.o" "gcc" "src/hw/CMakeFiles/mib_hw.dir/interconnect.cpp.o.d"
+  "/root/repo/src/hw/kernel_model.cpp" "src/hw/CMakeFiles/mib_hw.dir/kernel_model.cpp.o" "gcc" "src/hw/CMakeFiles/mib_hw.dir/kernel_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_hw.dir/cluster.cpp.o"
+  "CMakeFiles/mib_hw.dir/cluster.cpp.o.d"
+  "CMakeFiles/mib_hw.dir/device.cpp.o"
+  "CMakeFiles/mib_hw.dir/device.cpp.o.d"
+  "CMakeFiles/mib_hw.dir/interconnect.cpp.o"
+  "CMakeFiles/mib_hw.dir/interconnect.cpp.o.d"
+  "CMakeFiles/mib_hw.dir/kernel_model.cpp.o"
+  "CMakeFiles/mib_hw.dir/kernel_model.cpp.o.d"
+  "libmib_hw.a"
+  "libmib_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/config.cpp" "src/models/CMakeFiles/mib_models.dir/config.cpp.o" "gcc" "src/models/CMakeFiles/mib_models.dir/config.cpp.o.d"
+  "/root/repo/src/models/params.cpp" "src/models/CMakeFiles/mib_models.dir/params.cpp.o" "gcc" "src/models/CMakeFiles/mib_models.dir/params.cpp.o.d"
+  "/root/repo/src/models/zoo.cpp" "src/models/CMakeFiles/mib_models.dir/zoo.cpp.o" "gcc" "src/models/CMakeFiles/mib_models.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

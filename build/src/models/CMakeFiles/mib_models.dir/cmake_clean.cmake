@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_models.dir/config.cpp.o"
+  "CMakeFiles/mib_models.dir/config.cpp.o.d"
+  "CMakeFiles/mib_models.dir/params.cpp.o"
+  "CMakeFiles/mib_models.dir/params.cpp.o.d"
+  "CMakeFiles/mib_models.dir/zoo.cpp.o"
+  "CMakeFiles/mib_models.dir/zoo.cpp.o.d"
+  "libmib_models.a"
+  "libmib_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

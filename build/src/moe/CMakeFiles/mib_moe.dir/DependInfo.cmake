@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moe/attention.cpp" "src/moe/CMakeFiles/mib_moe.dir/attention.cpp.o" "gcc" "src/moe/CMakeFiles/mib_moe.dir/attention.cpp.o.d"
+  "/root/repo/src/moe/expert.cpp" "src/moe/CMakeFiles/mib_moe.dir/expert.cpp.o" "gcc" "src/moe/CMakeFiles/mib_moe.dir/expert.cpp.o.d"
+  "/root/repo/src/moe/mla.cpp" "src/moe/CMakeFiles/mib_moe.dir/mla.cpp.o" "gcc" "src/moe/CMakeFiles/mib_moe.dir/mla.cpp.o.d"
+  "/root/repo/src/moe/moe_layer.cpp" "src/moe/CMakeFiles/mib_moe.dir/moe_layer.cpp.o" "gcc" "src/moe/CMakeFiles/mib_moe.dir/moe_layer.cpp.o.d"
+  "/root/repo/src/moe/pruning.cpp" "src/moe/CMakeFiles/mib_moe.dir/pruning.cpp.o" "gcc" "src/moe/CMakeFiles/mib_moe.dir/pruning.cpp.o.d"
+  "/root/repo/src/moe/router.cpp" "src/moe/CMakeFiles/mib_moe.dir/router.cpp.o" "gcc" "src/moe/CMakeFiles/mib_moe.dir/router.cpp.o.d"
+  "/root/repo/src/moe/transformer.cpp" "src/moe/CMakeFiles/mib_moe.dir/transformer.cpp.o" "gcc" "src/moe/CMakeFiles/mib_moe.dir/transformer.cpp.o.d"
+  "/root/repo/src/moe/vision_encoder.cpp" "src/moe/CMakeFiles/mib_moe.dir/vision_encoder.cpp.o" "gcc" "src/moe/CMakeFiles/mib_moe.dir/vision_encoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/mib_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_moe.dir/attention.cpp.o"
+  "CMakeFiles/mib_moe.dir/attention.cpp.o.d"
+  "CMakeFiles/mib_moe.dir/expert.cpp.o"
+  "CMakeFiles/mib_moe.dir/expert.cpp.o.d"
+  "CMakeFiles/mib_moe.dir/mla.cpp.o"
+  "CMakeFiles/mib_moe.dir/mla.cpp.o.d"
+  "CMakeFiles/mib_moe.dir/moe_layer.cpp.o"
+  "CMakeFiles/mib_moe.dir/moe_layer.cpp.o.d"
+  "CMakeFiles/mib_moe.dir/pruning.cpp.o"
+  "CMakeFiles/mib_moe.dir/pruning.cpp.o.d"
+  "CMakeFiles/mib_moe.dir/router.cpp.o"
+  "CMakeFiles/mib_moe.dir/router.cpp.o.d"
+  "CMakeFiles/mib_moe.dir/transformer.cpp.o"
+  "CMakeFiles/mib_moe.dir/transformer.cpp.o.d"
+  "CMakeFiles/mib_moe.dir/vision_encoder.cpp.o"
+  "CMakeFiles/mib_moe.dir/vision_encoder.cpp.o.d"
+  "libmib_moe.a"
+  "libmib_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/expert_placement.cpp" "src/parallel/CMakeFiles/mib_parallel.dir/expert_placement.cpp.o" "gcc" "src/parallel/CMakeFiles/mib_parallel.dir/expert_placement.cpp.o.d"
+  "/root/repo/src/parallel/pipeline.cpp" "src/parallel/CMakeFiles/mib_parallel.dir/pipeline.cpp.o" "gcc" "src/parallel/CMakeFiles/mib_parallel.dir/pipeline.cpp.o.d"
+  "/root/repo/src/parallel/plan.cpp" "src/parallel/CMakeFiles/mib_parallel.dir/plan.cpp.o" "gcc" "src/parallel/CMakeFiles/mib_parallel.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mib_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mib_models.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

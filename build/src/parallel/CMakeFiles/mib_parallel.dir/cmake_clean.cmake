@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_parallel.dir/expert_placement.cpp.o"
+  "CMakeFiles/mib_parallel.dir/expert_placement.cpp.o.d"
+  "CMakeFiles/mib_parallel.dir/pipeline.cpp.o"
+  "CMakeFiles/mib_parallel.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mib_parallel.dir/plan.cpp.o"
+  "CMakeFiles/mib_parallel.dir/plan.cpp.o.d"
+  "libmib_parallel.a"
+  "libmib_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

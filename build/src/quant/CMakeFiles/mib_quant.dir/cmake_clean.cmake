@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_quant.dir/codecs.cpp.o"
+  "CMakeFiles/mib_quant.dir/codecs.cpp.o.d"
+  "CMakeFiles/mib_quant.dir/quantize.cpp.o"
+  "CMakeFiles/mib_quant.dir/quantize.cpp.o.d"
+  "libmib_quant.a"
+  "libmib_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

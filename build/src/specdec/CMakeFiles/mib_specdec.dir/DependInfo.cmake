@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/specdec/acceptance.cpp" "src/specdec/CMakeFiles/mib_specdec.dir/acceptance.cpp.o" "gcc" "src/specdec/CMakeFiles/mib_specdec.dir/acceptance.cpp.o.d"
+  "/root/repo/src/specdec/specdec.cpp" "src/specdec/CMakeFiles/mib_specdec.dir/specdec.cpp.o" "gcc" "src/specdec/CMakeFiles/mib_specdec.dir/specdec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mib_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mib_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mib_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

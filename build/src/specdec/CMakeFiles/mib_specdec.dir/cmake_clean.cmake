@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_specdec.dir/acceptance.cpp.o"
+  "CMakeFiles/mib_specdec.dir/acceptance.cpp.o.d"
+  "CMakeFiles/mib_specdec.dir/specdec.cpp.o"
+  "CMakeFiles/mib_specdec.dir/specdec.cpp.o.d"
+  "libmib_specdec.a"
+  "libmib_specdec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_specdec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

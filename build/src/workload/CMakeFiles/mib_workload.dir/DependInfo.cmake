@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/activation_study.cpp" "src/workload/CMakeFiles/mib_workload.dir/activation_study.cpp.o" "gcc" "src/workload/CMakeFiles/mib_workload.dir/activation_study.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/mib_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/mib_workload.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mib_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/moe/CMakeFiles/mib_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/mib_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_workload.dir/activation_study.cpp.o"
+  "CMakeFiles/mib_workload.dir/activation_study.cpp.o.d"
+  "CMakeFiles/mib_workload.dir/generator.cpp.o"
+  "CMakeFiles/mib_workload.dir/generator.cpp.o.d"
+  "libmib_workload.a"
+  "libmib_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

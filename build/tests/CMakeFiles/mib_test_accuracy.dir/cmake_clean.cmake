@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_accuracy.dir/accuracy/test_optimization_impact.cpp.o"
+  "CMakeFiles/mib_test_accuracy.dir/accuracy/test_optimization_impact.cpp.o.d"
+  "CMakeFiles/mib_test_accuracy.dir/accuracy/test_registry.cpp.o"
+  "CMakeFiles/mib_test_accuracy.dir/accuracy/test_registry.cpp.o.d"
+  "mib_test_accuracy"
+  "mib_test_accuracy.pdb"
+  "mib_test_accuracy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

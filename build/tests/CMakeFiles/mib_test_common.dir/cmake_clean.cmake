@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_common.dir/common/test_misc.cpp.o"
+  "CMakeFiles/mib_test_common.dir/common/test_misc.cpp.o.d"
+  "CMakeFiles/mib_test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/mib_test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/mib_test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/mib_test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/mib_test_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/mib_test_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/mib_test_common.dir/common/test_tensor.cpp.o"
+  "CMakeFiles/mib_test_common.dir/common/test_tensor.cpp.o.d"
+  "CMakeFiles/mib_test_common.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/mib_test_common.dir/common/test_thread_pool.cpp.o.d"
+  "CMakeFiles/mib_test_common.dir/common/test_zipf.cpp.o"
+  "CMakeFiles/mib_test_common.dir/common/test_zipf.cpp.o.d"
+  "mib_test_common"
+  "mib_test_common.pdb"
+  "mib_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_core.dir/core/test_core.cpp.o"
+  "CMakeFiles/mib_test_core.dir/core/test_core.cpp.o.d"
+  "mib_test_core"
+  "mib_test_core.pdb"
+  "mib_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_engine.dir/engine/test_disagg.cpp.o"
+  "CMakeFiles/mib_test_engine.dir/engine/test_disagg.cpp.o.d"
+  "CMakeFiles/mib_test_engine.dir/engine/test_engine.cpp.o"
+  "CMakeFiles/mib_test_engine.dir/engine/test_engine.cpp.o.d"
+  "CMakeFiles/mib_test_engine.dir/engine/test_engine_sweeps.cpp.o"
+  "CMakeFiles/mib_test_engine.dir/engine/test_engine_sweeps.cpp.o.d"
+  "CMakeFiles/mib_test_engine.dir/engine/test_kv_cache.cpp.o"
+  "CMakeFiles/mib_test_engine.dir/engine/test_kv_cache.cpp.o.d"
+  "CMakeFiles/mib_test_engine.dir/engine/test_layer_cost.cpp.o"
+  "CMakeFiles/mib_test_engine.dir/engine/test_layer_cost.cpp.o.d"
+  "CMakeFiles/mib_test_engine.dir/engine/test_memory.cpp.o"
+  "CMakeFiles/mib_test_engine.dir/engine/test_memory.cpp.o.d"
+  "CMakeFiles/mib_test_engine.dir/engine/test_offload.cpp.o"
+  "CMakeFiles/mib_test_engine.dir/engine/test_offload.cpp.o.d"
+  "CMakeFiles/mib_test_engine.dir/engine/test_prefix_cache.cpp.o"
+  "CMakeFiles/mib_test_engine.dir/engine/test_prefix_cache.cpp.o.d"
+  "CMakeFiles/mib_test_engine.dir/engine/test_profile.cpp.o"
+  "CMakeFiles/mib_test_engine.dir/engine/test_profile.cpp.o.d"
+  "CMakeFiles/mib_test_engine.dir/engine/test_scheduler.cpp.o"
+  "CMakeFiles/mib_test_engine.dir/engine/test_scheduler.cpp.o.d"
+  "CMakeFiles/mib_test_engine.dir/engine/test_scheduler_policy.cpp.o"
+  "CMakeFiles/mib_test_engine.dir/engine/test_scheduler_policy.cpp.o.d"
+  "mib_test_engine"
+  "mib_test_engine.pdb"
+  "mib_test_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

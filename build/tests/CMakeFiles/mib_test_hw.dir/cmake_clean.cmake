@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_hw.dir/hw/test_device.cpp.o"
+  "CMakeFiles/mib_test_hw.dir/hw/test_device.cpp.o.d"
+  "CMakeFiles/mib_test_hw.dir/hw/test_interconnect.cpp.o"
+  "CMakeFiles/mib_test_hw.dir/hw/test_interconnect.cpp.o.d"
+  "CMakeFiles/mib_test_hw.dir/hw/test_kernel_model.cpp.o"
+  "CMakeFiles/mib_test_hw.dir/hw/test_kernel_model.cpp.o.d"
+  "mib_test_hw"
+  "mib_test_hw.pdb"
+  "mib_test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

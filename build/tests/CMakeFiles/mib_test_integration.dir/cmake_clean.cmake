@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_integration.dir/integration/test_functional_vs_analytic.cpp.o"
+  "CMakeFiles/mib_test_integration.dir/integration/test_functional_vs_analytic.cpp.o.d"
+  "CMakeFiles/mib_test_integration.dir/integration/test_paper_claims.cpp.o"
+  "CMakeFiles/mib_test_integration.dir/integration/test_paper_claims.cpp.o.d"
+  "mib_test_integration"
+  "mib_test_integration.pdb"
+  "mib_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

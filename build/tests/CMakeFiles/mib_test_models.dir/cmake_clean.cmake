@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_models.dir/models/test_config.cpp.o"
+  "CMakeFiles/mib_test_models.dir/models/test_config.cpp.o.d"
+  "CMakeFiles/mib_test_models.dir/models/test_params.cpp.o"
+  "CMakeFiles/mib_test_models.dir/models/test_params.cpp.o.d"
+  "CMakeFiles/mib_test_models.dir/models/test_zoo_params.cpp.o"
+  "CMakeFiles/mib_test_models.dir/models/test_zoo_params.cpp.o.d"
+  "mib_test_models"
+  "mib_test_models.pdb"
+  "mib_test_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_moe.dir/moe/test_attention.cpp.o"
+  "CMakeFiles/mib_test_moe.dir/moe/test_attention.cpp.o.d"
+  "CMakeFiles/mib_test_moe.dir/moe/test_expert.cpp.o"
+  "CMakeFiles/mib_test_moe.dir/moe/test_expert.cpp.o.d"
+  "CMakeFiles/mib_test_moe.dir/moe/test_mla.cpp.o"
+  "CMakeFiles/mib_test_moe.dir/moe/test_mla.cpp.o.d"
+  "CMakeFiles/mib_test_moe.dir/moe/test_moe_layer.cpp.o"
+  "CMakeFiles/mib_test_moe.dir/moe/test_moe_layer.cpp.o.d"
+  "CMakeFiles/mib_test_moe.dir/moe/test_pruning.cpp.o"
+  "CMakeFiles/mib_test_moe.dir/moe/test_pruning.cpp.o.d"
+  "CMakeFiles/mib_test_moe.dir/moe/test_router.cpp.o"
+  "CMakeFiles/mib_test_moe.dir/moe/test_router.cpp.o.d"
+  "CMakeFiles/mib_test_moe.dir/moe/test_speculative.cpp.o"
+  "CMakeFiles/mib_test_moe.dir/moe/test_speculative.cpp.o.d"
+  "CMakeFiles/mib_test_moe.dir/moe/test_transformer.cpp.o"
+  "CMakeFiles/mib_test_moe.dir/moe/test_transformer.cpp.o.d"
+  "CMakeFiles/mib_test_moe.dir/moe/test_transformer_mla.cpp.o"
+  "CMakeFiles/mib_test_moe.dir/moe/test_transformer_mla.cpp.o.d"
+  "CMakeFiles/mib_test_moe.dir/moe/test_vision_encoder.cpp.o"
+  "CMakeFiles/mib_test_moe.dir/moe/test_vision_encoder.cpp.o.d"
+  "mib_test_moe"
+  "mib_test_moe.pdb"
+  "mib_test_moe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

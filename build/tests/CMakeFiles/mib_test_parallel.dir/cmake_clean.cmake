@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_parallel.dir/parallel/test_expert_placement.cpp.o"
+  "CMakeFiles/mib_test_parallel.dir/parallel/test_expert_placement.cpp.o.d"
+  "CMakeFiles/mib_test_parallel.dir/parallel/test_pipeline.cpp.o"
+  "CMakeFiles/mib_test_parallel.dir/parallel/test_pipeline.cpp.o.d"
+  "CMakeFiles/mib_test_parallel.dir/parallel/test_placement.cpp.o"
+  "CMakeFiles/mib_test_parallel.dir/parallel/test_placement.cpp.o.d"
+  "CMakeFiles/mib_test_parallel.dir/parallel/test_plan.cpp.o"
+  "CMakeFiles/mib_test_parallel.dir/parallel/test_plan.cpp.o.d"
+  "mib_test_parallel"
+  "mib_test_parallel.pdb"
+  "mib_test_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_quant.dir/quant/test_codecs.cpp.o"
+  "CMakeFiles/mib_test_quant.dir/quant/test_codecs.cpp.o.d"
+  "CMakeFiles/mib_test_quant.dir/quant/test_codecs_exhaustive.cpp.o"
+  "CMakeFiles/mib_test_quant.dir/quant/test_codecs_exhaustive.cpp.o.d"
+  "CMakeFiles/mib_test_quant.dir/quant/test_group_quant.cpp.o"
+  "CMakeFiles/mib_test_quant.dir/quant/test_group_quant.cpp.o.d"
+  "CMakeFiles/mib_test_quant.dir/quant/test_quantize.cpp.o"
+  "CMakeFiles/mib_test_quant.dir/quant/test_quantize.cpp.o.d"
+  "mib_test_quant"
+  "mib_test_quant.pdb"
+  "mib_test_quant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

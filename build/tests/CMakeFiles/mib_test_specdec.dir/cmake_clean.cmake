@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_specdec.dir/specdec/test_montecarlo.cpp.o"
+  "CMakeFiles/mib_test_specdec.dir/specdec/test_montecarlo.cpp.o.d"
+  "CMakeFiles/mib_test_specdec.dir/specdec/test_specdec.cpp.o"
+  "CMakeFiles/mib_test_specdec.dir/specdec/test_specdec.cpp.o.d"
+  "mib_test_specdec"
+  "mib_test_specdec.pdb"
+  "mib_test_specdec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_specdec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_workload.dir/workload/test_conversations.cpp.o"
+  "CMakeFiles/mib_test_workload.dir/workload/test_conversations.cpp.o.d"
+  "CMakeFiles/mib_test_workload.dir/workload/test_workload.cpp.o"
+  "CMakeFiles/mib_test_workload.dir/workload/test_workload.cpp.o.d"
+  "mib_test_workload"
+  "mib_test_workload.pdb"
+  "mib_test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

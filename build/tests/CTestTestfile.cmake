@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mib_test_common[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_hw[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_models[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_quant[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_moe[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_engine[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_specdec[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_workload[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_accuracy[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_core[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_integration[1]_include.cmake")
