@@ -1,0 +1,168 @@
+// Extension: fleet-level serving — the capacity questions one level above
+// the engine. Three tables:
+//   (a) replica scaling: fleet throughput and tail TTFT vs replica count
+//       for a fixed offered load;
+//   (b) SLO capacity (MoE-CAP-style): max Poisson QPS at >= 99% TTFT/ITL
+//       attainment, found by bisection — healthy fleet vs the same fleet
+//       with a replica-failure window injected;
+//   (c) routing policy comparison on the multi-turn conversation workload:
+//       prefix-affinity routing vs round-robin vs least-outstanding.
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "fleet/fleet.h"
+#include "workload/arrivals.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace mib;
+
+fleet::FleetConfig base_config(int replicas) {
+  core::Scenario s;
+  s.model = "OLMoE-1B-7B";
+  fleet::FleetConfig fc;
+  fc.engine = s.engine_config();
+  fc.n_replicas = replicas;
+  fc.replica.max_batch = 64;
+  fc.slo.ttft_s = 2.0;
+  fc.slo.itl_s = 0.05;
+  fc.seed = 7;
+  return fc;
+}
+
+std::vector<fleet::FleetRequest> mixed_trace(int n, double qps,
+                                             std::uint64_t seed) {
+  workload::TraceConfig tc;
+  tc.n_requests = n;
+  tc.input = {64, 1024, 1.2};
+  tc.output = {32, 256, 1.2};
+  tc.seed = seed;
+  auto trace = fleet::as_fleet_trace(workload::generate_trace(tc));
+  workload::ArrivalConfig ac;
+  ac.rate_qps = qps;
+  ac.seed = seed ^ 0xA221;
+  fleet::stamp_arrivals(ac, trace);
+  return trace;
+}
+
+/// Attainment under a sustained offered load: the trace length scales with
+/// the rate (15 s of arrivals) so capacity measures steady-state queueing,
+/// not burst absorption.
+double attainment_at(const fleet::FleetConfig& cfg, double qps) {
+  const int n = std::max(64, static_cast<int>(qps * 15.0));
+  const auto trace = mixed_trace(n, qps, 11);
+  return fleet::FleetSimulator(cfg).run(trace).slo.attainment;
+}
+
+}  // namespace
+
+int main() {
+  core::print_banner(std::cout, "extra_fleet");
+
+  // --- (a) replica scaling at a fixed, saturating offered load ---
+  {
+    const auto trace = mixed_trace(384, 96.0, 3);
+    Table t("(a) Replica scaling — OLMoE-1B-7B, 384 mixed requests at 96 "
+            "QPS offered");
+    t.set_headers({"replicas", "throughput (tok/s)", "p50 TTFT (s)",
+                   "p95 TTFT (s)", "p95 e2e (s)", "SLO attainment",
+                   "goodput (qps)", "mean util"});
+    for (int n : {1, 2, 4, 8}) {
+      const fleet::FleetSimulator sim(base_config(n));
+      const auto r = sim.run(trace);
+      double util = 0.0;
+      for (const auto& rr : r.replicas) util += rr.utilization;
+      util /= n;
+      t.new_row()
+          .cell(n)
+          .cell(r.throughput_tok_s, 0)
+          .cell(r.ttft_s.p50(), 2)
+          .cell(r.ttft_s.p95(), 2)
+          .cell(r.e2e_s.p95(), 2)
+          .cell(r.slo.attainment, 3)
+          .cell(r.slo.goodput_qps, 1)
+          .cell(util, 2);
+    }
+    t.print(std::cout);
+    core::maybe_export_csv(t, "extra_fleet_scaling");
+  }
+
+  // --- (b) SLO capacity: healthy vs one replica failing mid-run ---
+  {
+    Table t("(b) SLO-goodput capacity — max QPS at >= 99% attainment "
+            "(TTFT <= 2s, ITL <= 50ms), bisection over [2, 256] QPS");
+    t.set_headers({"replicas", "faults", "capacity (qps)",
+                   "attainment @ capacity", "fleet runs"});
+    for (int n : {2, 4}) {
+      for (bool faulty : {false, true}) {
+        auto cfg = base_config(n);
+        if (faulty) {
+          // Replica 0 dies for a window covering most of the 15 s run.
+          cfg.faults.push_back(fleet::FaultWindow{0, 1.0, 12.0});
+        }
+        const auto cap = fleet::find_capacity_qps(
+            [&](double qps) { return attainment_at(cfg, qps); }, 2.0, 256.0,
+            0.99, 8);
+        t.new_row()
+            .cell(n)
+            .cell(faulty ? "0 down 1s-12s" : "none")
+            .cell(cap.qps, 1)
+            .cell(cap.attainment, 3)
+            .cell(cap.evaluations);
+      }
+    }
+    t.print(std::cout);
+    core::maybe_export_csv(t, "extra_fleet_capacity");
+  }
+
+  // --- (c) routing policy on the conversation workload ---
+  {
+    workload::ConversationConfig cc;
+    // Coprime with the replica count, so round-robin cannot accidentally
+    // keep conversations aligned to the same replica across turn rounds.
+    cc.n_conversations = 27;
+    cc.turns_per_conversation = 4;
+    cc.system_prompt_tokens = 512;
+    cc.seed = 5;
+    auto trace = fleet::as_fleet_trace(workload::generate_conversations(cc));
+    workload::ArrivalConfig ac;
+    ac.rate_qps = 16.0;
+    ac.seed = 17;
+    fleet::stamp_arrivals(ac, trace);
+
+    Table t("(c) Routing policy — 27 conversations x 4 turns, 512-token "
+            "system prompt, 16 QPS, 4 replicas");
+    t.set_headers({"policy", "prefix hit rate", "p50 TTFT (s)",
+                   "p95 TTFT (s)", "throughput (tok/s)", "SLO attainment"});
+    for (auto policy : {fleet::RoutePolicy::kRoundRobin,
+                        fleet::RoutePolicy::kLeastOutstanding,
+                        fleet::RoutePolicy::kPrefixAffinity}) {
+      auto cfg = base_config(4);
+      cfg.policy = policy;
+      const auto r = fleet::FleetSimulator(cfg).run(trace);
+      t.new_row()
+          .cell(fleet::route_policy_name(policy))
+          .cell(r.prefix_hit_rate(), 3)
+          .cell(r.ttft_s.p50(), 2)
+          .cell(r.ttft_s.p95(), 2)
+          .cell(r.throughput_tok_s, 0)
+          .cell(r.slo.attainment, 3);
+    }
+    t.print(std::cout);
+    core::maybe_export_csv(t, "extra_fleet_routing");
+  }
+
+  std::cout
+      << "\nReading: (a) adding replicas raises fleet throughput and "
+         "collapses tail TTFT until the offered load is absorbed; (b) the "
+         "SLO capacity point is the serving metric that matters for "
+         "provisioning, and a failure window visibly dents it; (c) "
+         "session-affinity routing keeps conversations on the replica "
+         "holding their cached prefix, so it wins prefix hits (and TTFT) "
+         "over oblivious policies.\n";
+  return 0;
+}

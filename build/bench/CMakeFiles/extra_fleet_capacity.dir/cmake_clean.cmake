@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_fleet_capacity.dir/extra_fleet_capacity.cpp.o"
+  "CMakeFiles/extra_fleet_capacity.dir/extra_fleet_capacity.cpp.o.d"
+  "extra_fleet_capacity"
+  "extra_fleet_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_fleet_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fleet_planner.cpp" "examples/CMakeFiles/fleet_planner.dir/fleet_planner.cpp.o" "gcc" "examples/CMakeFiles/fleet_planner.dir/fleet_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/accuracy/CMakeFiles/mib_accuracy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/mib_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mib_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/specdec/CMakeFiles/mib_specdec.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mib_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/moe/CMakeFiles/mib_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/mib_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mib_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mib_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

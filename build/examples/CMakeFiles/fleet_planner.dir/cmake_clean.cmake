@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_planner.dir/fleet_planner.cpp.o"
+  "CMakeFiles/fleet_planner.dir/fleet_planner.cpp.o.d"
+  "fleet_planner"
+  "fleet_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

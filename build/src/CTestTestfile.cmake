@@ -13,5 +13,6 @@ subdirs("engine")
 subdirs("parallel")
 subdirs("specdec")
 subdirs("workload")
+subdirs("fleet")
 subdirs("accuracy")
 subdirs("core")

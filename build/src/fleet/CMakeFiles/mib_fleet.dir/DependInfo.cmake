@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fleet/faults.cpp" "src/fleet/CMakeFiles/mib_fleet.dir/faults.cpp.o" "gcc" "src/fleet/CMakeFiles/mib_fleet.dir/faults.cpp.o.d"
+  "/root/repo/src/fleet/fleet.cpp" "src/fleet/CMakeFiles/mib_fleet.dir/fleet.cpp.o" "gcc" "src/fleet/CMakeFiles/mib_fleet.dir/fleet.cpp.o.d"
+  "/root/repo/src/fleet/replica.cpp" "src/fleet/CMakeFiles/mib_fleet.dir/replica.cpp.o" "gcc" "src/fleet/CMakeFiles/mib_fleet.dir/replica.cpp.o.d"
+  "/root/repo/src/fleet/router.cpp" "src/fleet/CMakeFiles/mib_fleet.dir/router.cpp.o" "gcc" "src/fleet/CMakeFiles/mib_fleet.dir/router.cpp.o.d"
+  "/root/repo/src/fleet/slo.cpp" "src/fleet/CMakeFiles/mib_fleet.dir/slo.cpp.o" "gcc" "src/fleet/CMakeFiles/mib_fleet.dir/slo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mib_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mib_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mib_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mib_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mib_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/moe/CMakeFiles/mib_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/mib_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_fleet.dir/faults.cpp.o"
+  "CMakeFiles/mib_fleet.dir/faults.cpp.o.d"
+  "CMakeFiles/mib_fleet.dir/fleet.cpp.o"
+  "CMakeFiles/mib_fleet.dir/fleet.cpp.o.d"
+  "CMakeFiles/mib_fleet.dir/replica.cpp.o"
+  "CMakeFiles/mib_fleet.dir/replica.cpp.o.d"
+  "CMakeFiles/mib_fleet.dir/router.cpp.o"
+  "CMakeFiles/mib_fleet.dir/router.cpp.o.d"
+  "CMakeFiles/mib_fleet.dir/slo.cpp.o"
+  "CMakeFiles/mib_fleet.dir/slo.cpp.o.d"
+  "libmib_fleet.a"
+  "libmib_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmib_fleet.a"
+)

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/workload/activation_study.cpp" "src/workload/CMakeFiles/mib_workload.dir/activation_study.cpp.o" "gcc" "src/workload/CMakeFiles/mib_workload.dir/activation_study.cpp.o.d"
+  "/root/repo/src/workload/arrivals.cpp" "src/workload/CMakeFiles/mib_workload.dir/arrivals.cpp.o" "gcc" "src/workload/CMakeFiles/mib_workload.dir/arrivals.cpp.o.d"
   "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/mib_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/mib_workload.dir/generator.cpp.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/mib_workload.dir/activation_study.cpp.o"
   "CMakeFiles/mib_workload.dir/activation_study.cpp.o.d"
+  "CMakeFiles/mib_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/mib_workload.dir/arrivals.cpp.o.d"
   "CMakeFiles/mib_workload.dir/generator.cpp.o"
   "CMakeFiles/mib_workload.dir/generator.cpp.o.d"
   "libmib_workload.a"

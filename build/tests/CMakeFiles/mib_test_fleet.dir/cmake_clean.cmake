@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_fleet.dir/fleet/test_faults.cpp.o"
+  "CMakeFiles/mib_test_fleet.dir/fleet/test_faults.cpp.o.d"
+  "CMakeFiles/mib_test_fleet.dir/fleet/test_fleet.cpp.o"
+  "CMakeFiles/mib_test_fleet.dir/fleet/test_fleet.cpp.o.d"
+  "CMakeFiles/mib_test_fleet.dir/fleet/test_router.cpp.o"
+  "CMakeFiles/mib_test_fleet.dir/fleet/test_router.cpp.o.d"
+  "CMakeFiles/mib_test_fleet.dir/fleet/test_slo.cpp.o"
+  "CMakeFiles/mib_test_fleet.dir/fleet/test_slo.cpp.o.d"
+  "mib_test_fleet"
+  "mib_test_fleet.pdb"
+  "mib_test_fleet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mib_test_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

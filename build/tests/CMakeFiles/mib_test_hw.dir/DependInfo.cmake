@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/mib_core.dir/DependInfo.cmake"
   "/root/repo/build/src/accuracy/CMakeFiles/mib_accuracy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/mib_fleet.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/mib_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/specdec/CMakeFiles/mib_specdec.dir/DependInfo.cmake"
   "/root/repo/build/src/engine/CMakeFiles/mib_engine.dir/DependInfo.cmake"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_arrivals.cpp" "tests/CMakeFiles/mib_test_workload.dir/workload/test_arrivals.cpp.o" "gcc" "tests/CMakeFiles/mib_test_workload.dir/workload/test_arrivals.cpp.o.d"
   "/root/repo/tests/workload/test_conversations.cpp" "tests/CMakeFiles/mib_test_workload.dir/workload/test_conversations.cpp.o" "gcc" "tests/CMakeFiles/mib_test_workload.dir/workload/test_conversations.cpp.o.d"
   "/root/repo/tests/workload/test_workload.cpp" "tests/CMakeFiles/mib_test_workload.dir/workload/test_workload.cpp.o" "gcc" "tests/CMakeFiles/mib_test_workload.dir/workload/test_workload.cpp.o.d"
   )
@@ -16,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/mib_core.dir/DependInfo.cmake"
   "/root/repo/build/src/accuracy/CMakeFiles/mib_accuracy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/mib_fleet.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/mib_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/specdec/CMakeFiles/mib_specdec.dir/DependInfo.cmake"
   "/root/repo/build/src/engine/CMakeFiles/mib_engine.dir/DependInfo.cmake"

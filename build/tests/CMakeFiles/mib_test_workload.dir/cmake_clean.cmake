@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/mib_test_workload.dir/workload/test_arrivals.cpp.o"
+  "CMakeFiles/mib_test_workload.dir/workload/test_arrivals.cpp.o.d"
   "CMakeFiles/mib_test_workload.dir/workload/test_conversations.cpp.o"
   "CMakeFiles/mib_test_workload.dir/workload/test_conversations.cpp.o.d"
   "CMakeFiles/mib_test_workload.dir/workload/test_workload.cpp.o"

@@ -13,6 +13,7 @@ include("/root/repo/build/tests/mib_test_engine[1]_include.cmake")
 include("/root/repo/build/tests/mib_test_parallel[1]_include.cmake")
 include("/root/repo/build/tests/mib_test_specdec[1]_include.cmake")
 include("/root/repo/build/tests/mib_test_workload[1]_include.cmake")
+include("/root/repo/build/tests/mib_test_fleet[1]_include.cmake")
 include("/root/repo/build/tests/mib_test_accuracy[1]_include.cmake")
 include("/root/repo/build/tests/mib_test_core[1]_include.cmake")
 include("/root/repo/build/tests/mib_test_integration[1]_include.cmake")

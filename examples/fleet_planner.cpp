@@ -1,0 +1,92 @@
+// Example: capacity planning with the fleet simulator — "how many H100
+// nodes do I need to serve X QPS at my latency SLOs?"
+//
+// For each replica count we offer the target load (Poisson arrivals over a
+// mixed-length trace) and check SLO attainment; the answer is the smallest
+// fleet sustaining >= 99%. Also prints each size's own capacity point (max
+// QPS at 99% attainment) so over-provisioning headroom is visible.
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/scenario.h"
+#include "fleet/fleet.h"
+#include "workload/arrivals.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace mib;
+
+  const double target_qps = 96.0;
+  const double ttft_slo_s = 2.0;
+  const double itl_slo_s = 0.05;
+  const int max_fleet = 8;
+
+  core::Scenario s;
+  s.model = "OLMoE-1B-7B";
+
+  // 15 s of sustained arrivals, so attainment reflects steady-state
+  // queueing rather than absorption of a short burst.
+  auto make_trace = [&](double qps) {
+    workload::TraceConfig tc;
+    tc.n_requests = std::max(64, static_cast<int>(qps * 15.0));
+    tc.input = {64, 1024, 1.2};
+    tc.output = {32, 256, 1.2};
+    tc.seed = 13;
+    auto trace = fleet::as_fleet_trace(workload::generate_trace(tc));
+    workload::ArrivalConfig ac;
+    ac.rate_qps = qps;
+    ac.seed = 29;
+    fleet::stamp_arrivals(ac, trace);
+    return trace;
+  };
+
+  auto config_for = [&](int replicas) {
+    fleet::FleetConfig fc;
+    fc.engine = s.engine_config();
+    fc.n_replicas = replicas;
+    fc.slo.ttft_s = ttft_slo_s;
+    fc.slo.itl_s = itl_slo_s;
+    fc.seed = 3;
+    return fc;
+  };
+
+  std::cout << "Fleet planner: " << s.model << " on H100 nodes, target "
+            << target_qps << " QPS at TTFT <= " << ttft_slo_s
+            << " s, ITL <= " << itl_slo_s * 1e3 << " ms\n\n";
+
+  Table t("Attainment at the target load, by fleet size");
+  t.set_headers({"replicas", "attainment @ target", "p95 TTFT (s)",
+                 "goodput (qps)", "own capacity (qps @ 99%)"});
+  int answer = -1;
+  for (int n = 1; n <= max_fleet; ++n) {
+    const fleet::FleetSimulator sim(config_for(n));
+    const auto r = sim.run(make_trace(target_qps));
+    const auto cap = fleet::find_capacity_qps(
+        [&](double qps) {
+          return fleet::FleetSimulator(config_for(n))
+              .run(make_trace(qps))
+              .slo.attainment;
+        },
+        1.0, 256.0, 0.99, 7);
+    t.new_row()
+        .cell(n)
+        .cell(r.slo.attainment, 3)
+        .cell(r.ttft_s.p95(), 2)
+        .cell(r.slo.goodput_qps, 1)
+        .cell(cap.qps, 1);
+    if (answer < 0 && r.slo.attainment >= 0.99) answer = n;
+    if (answer > 0 && n >= answer + 1) break;  // one row of headroom
+  }
+  t.print(std::cout);
+
+  if (answer > 0) {
+    std::cout << "\nAnswer: " << answer << " H100 node(s) sustain "
+              << target_qps << " QPS at >= 99% SLO attainment.\n";
+  } else {
+    std::cout << "\nAnswer: more than " << max_fleet
+              << " replicas needed for " << target_qps
+              << " QPS at these SLOs.\n";
+  }
+  return 0;
+}

@@ -64,18 +64,18 @@ double Samples::stddev() const {
 }
 
 double Samples::min() const {
-  MIB_ENSURE(!xs_.empty(), "min of empty sample set");
+  if (xs_.empty()) return 0.0;
   return *std::min_element(xs_.begin(), xs_.end());
 }
 
 double Samples::max() const {
-  MIB_ENSURE(!xs_.empty(), "max of empty sample set");
+  if (xs_.empty()) return 0.0;
   return *std::max_element(xs_.begin(), xs_.end());
 }
 
 double Samples::percentile(double p) const {
-  MIB_ENSURE(!xs_.empty(), "percentile of empty sample set");
   MIB_ENSURE(p >= 0.0 && p <= 100.0, "percentile p out of range: " << p);
+  if (xs_.empty()) return 0.0;
   std::vector<double> sorted = xs_;
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted[0];
@@ -93,6 +93,7 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  MIB_ENSURE(!std::isnan(x), "histogram sample is NaN");
   const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
   auto idx = static_cast<std::ptrdiff_t>(std::floor(t));
   idx = std::clamp<std::ptrdiff_t>(idx, 0,

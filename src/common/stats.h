@@ -32,19 +32,28 @@ class RunningStats {
 };
 
 /// Offline sample set with percentile queries (used for ITL distributions).
+///
+/// All queries are total on the empty set: mean/stddev/min/max/percentile
+/// of zero samples return 0.0 (a fleet report with every request rejected
+/// still renders). Only percentile() with p outside [0, 100] throws.
 class Samples {
  public:
   void add(double x) { xs_.push_back(x); }
   void reserve(std::size_t n) { xs_.reserve(n); }
 
   std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
   double mean() const;
   double stddev() const;
   double min() const;
   double max() const;
-  /// Linear-interpolated percentile, p in [0, 100].
+  /// Linear-interpolated percentile, p in [0, 100]; 0.0 on empty sets.
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
+  // SLO-report shorthands.
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
 
   const std::vector<double>& values() const { return xs_; }
 

@@ -81,6 +81,11 @@ const std::vector<ExperimentInfo>& experiments() {
       {"extra_offload", "Expert offloading vs OOM boundaries (extension)",
        "Mixtral fp16 on one H100; residency and skew sweeps",
        "extra_offload"},
+      {"extra_fleet", "Multi-replica fleet serving: scaling, SLO capacity, "
+       "routing policies, faults (extension)",
+       "OLMoE-1B-7B H100 replicas; Poisson traffic, TTFT/ITL SLOs, "
+       "replica-failure window",
+       "extra_fleet_capacity"},
       {"trace_profile", "Simulated per-op profiler timeline",
        "Mixtral-8x7B TP4, one decode step + one prefill", "trace_profile"},
       {"moe_cpu_kernels", "Functional MoE layer wall-clock (fused vs staged)",

@@ -13,11 +13,15 @@ struct Request {
   int input_tokens = 0;
   int output_tokens = 0;
   int n_images = 0;
+  /// Absolute submission time (seconds since trace start). Stamped by the
+  /// arrival generators in workload/arrivals.h; 0 = arrives at t=0.
+  double arrival_s = 0.0;
 
   void validate() const {
     MIB_ENSURE(input_tokens >= 1, "request needs at least one input token");
     MIB_ENSURE(output_tokens >= 1, "request generates at least one token");
     MIB_ENSURE(n_images >= 0, "negative image count");
+    MIB_ENSURE(arrival_s >= 0.0, "negative arrival time");
   }
 };
 

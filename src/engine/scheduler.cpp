@@ -58,7 +58,12 @@ ServingReport ServingSimulator::run(
     const std::vector<Request>& requests) const {
   MIB_ENSURE(!requests.empty(), "empty request trace");
 
-  // Arrival schedule.
+  // Arrival schedule: explicit Request::arrival_s timestamps when the trace
+  // carries any (the workload/arrivals.h path); otherwise the deprecated
+  // in-simulator Poisson shim driven by arrival_rate_qps.
+  const bool explicit_arrivals =
+      std::any_of(requests.begin(), requests.end(),
+                  [](const Request& r) { return r.arrival_s > 0.0; });
   Rng rng(sched_.seed);
   std::deque<Seq> waiting;
   double arrival = 0.0;
@@ -68,7 +73,9 @@ ServingReport ServingSimulator::run(
                                                      requests[i].n_images);
     MIB_ENSURE(in_eff + requests[i].output_tokens <= kv_capacity_tokens_,
                "request " << i << " exceeds KV capacity even alone");
-    if (sched_.arrival_rate_qps > 0.0 && i > 0) {
+    if (explicit_arrivals) {
+      arrival = requests[i].arrival_s;
+    } else if (sched_.arrival_rate_qps > 0.0 && i > 0) {
       arrival += -std::log(1.0 - rng.uniform()) / sched_.arrival_rate_qps;
     }
     Seq s;
@@ -77,6 +84,14 @@ ServingReport ServingSimulator::run(
     s.input_tokens = in_eff;
     s.output_tokens = requests[i].output_tokens;
     waiting.push_back(s);
+  }
+  if (explicit_arrivals) {
+    // FCFS admission peeks at the queue head; explicit stamps need not be
+    // sorted, so order the queue by arrival time (stable on ties).
+    std::stable_sort(waiting.begin(), waiting.end(),
+                     [](const Seq& a, const Seq& b) {
+                       return a.arrival < b.arrival;
+                     });
   }
 
   std::vector<Seq> running;

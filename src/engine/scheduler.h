@@ -28,7 +28,10 @@ struct SchedulerConfig {
   QueuePolicy policy = QueuePolicy::kFcfs;
   /// Chunked-prefill token budget per engine step.
   int prefill_tokens_per_step = 2048;
-  /// Poisson arrival rate (requests/s); 0 = everything arrives at t=0.
+  /// DEPRECATED: Poisson arrival rate (requests/s); 0 = everything arrives
+  /// at t=0. Superseded by explicit `Request::arrival_s` timestamps (see
+  /// workload/arrivals.h) — when any request in the trace carries a nonzero
+  /// arrival_s, those timestamps win and this knob is ignored.
   double arrival_rate_qps = 0.0;
   /// false = static gang batching: admit a full batch, drain it completely
   /// before admitting again (the paper's setting).

@@ -1,0 +1,34 @@
+#include "fleet/faults.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mib::fleet {
+
+FaultSchedule::FaultSchedule(std::vector<FaultWindow> windows)
+    : windows_(std::move(windows)) {
+  for (const auto& w : windows_) w.validate();
+}
+
+bool FaultSchedule::up(int replica, double t) const {
+  for (const auto& w : windows_) {
+    if (w.replica == replica && t >= w.start_s && t < w.end_s) return false;
+  }
+  return true;
+}
+
+double FaultSchedule::next_transition_after(double t) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& w : windows_) {
+    if (w.start_s > t) best = std::min(best, w.start_s);
+    if (w.end_s > t) best = std::min(best, w.end_s);
+  }
+  return best;
+}
+
+double RetryPolicy::delay(int attempt) const {
+  MIB_ENSURE(attempt >= 1, "retry attempts are 1-based");
+  return backoff_s * std::pow(multiplier, attempt - 1);
+}
+
+}  // namespace mib::fleet

@@ -1,0 +1,64 @@
+// Replica fault model: scheduled failure/recovery windows plus the retry
+// policy the front-end applies when a replica dies with work on it.
+//
+// A fault window takes one replica out of service for [start_s, end_s):
+// while down it accepts no routing, and everything queued or running on it
+// at failure time is evacuated — progress lost (KV gone) — and re-submitted
+// to the router after an exponential backoff. Requests exceeding the retry
+// budget are reported lost (the fleet's request-conservation invariant
+// still accounts for them).
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace mib::fleet {
+
+/// One replica outage: down for [start_s, end_s).
+struct FaultWindow {
+  int replica = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  void validate() const {
+    MIB_ENSURE(replica >= 0, "fault window names a negative replica");
+    MIB_ENSURE(start_s >= 0.0, "fault window starts before t=0");
+    MIB_ENSURE(end_s > start_s, "fault window must have positive duration");
+  }
+};
+
+/// Immutable outage schedule with point-in-time and next-transition queries.
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(std::vector<FaultWindow> windows);
+
+  /// Whether `replica` is in service at time t.
+  bool up(int replica, double t) const;
+
+  /// Earliest window edge (start or end) strictly after t, or +infinity.
+  double next_transition_after(double t) const;
+
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+ private:
+  std::vector<FaultWindow> windows_;
+};
+
+/// Exponential-backoff retry for requests evacuated from a failed replica.
+struct RetryPolicy {
+  double backoff_s = 0.05;   ///< delay before the first re-route
+  double multiplier = 2.0;   ///< backoff growth per subsequent retry
+  int max_retries = 8;       ///< beyond this the request is reported lost
+
+  void validate() const {
+    MIB_ENSURE(backoff_s > 0.0, "retry backoff must be > 0");
+    MIB_ENSURE(multiplier >= 1.0, "retry multiplier must be >= 1");
+    MIB_ENSURE(max_retries >= 0, "negative retry budget");
+  }
+
+  /// Delay applied before retry number `attempt` (1-based).
+  double delay(int attempt) const;
+};
+
+}  // namespace mib::fleet

@@ -1,0 +1,418 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mib::fleet {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<FleetRequest> as_fleet_trace(
+    const std::vector<engine::Request>& trace) {
+  std::vector<FleetRequest> out;
+  out.reserve(trace.size());
+  for (const auto& r : trace) out.push_back(FleetRequest{r, 0, 0});
+  return out;
+}
+
+std::vector<FleetRequest> as_fleet_trace(
+    const std::vector<workload::Turn>& turns) {
+  std::vector<const workload::Turn*> order;
+  order.reserve(turns.size());
+  for (const auto& t : turns) order.push_back(&t);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const workload::Turn* a, const workload::Turn* b) {
+                     return std::tie(a->turn, a->conversation) <
+                            std::tie(b->turn, b->conversation);
+                   });
+  std::vector<FleetRequest> out;
+  out.reserve(turns.size());
+  for (const auto* t : order) {
+    FleetRequest fr;
+    fr.request = t->request;
+    // Conversation identity: a stateless splitmix64 hash of the
+    // conversation id (forced nonzero; 0 means "no prefix").
+    std::uint64_t state = static_cast<std::uint64_t>(t->conversation) +
+                          0x9E3779B97F4A7C15ull;
+    fr.prefix_hash = splitmix64(state) | 1ull;
+    fr.prefix_tokens = t->shared_prefix_tokens;
+    out.push_back(fr);
+  }
+  return out;
+}
+
+void stamp_arrivals(const workload::ArrivalConfig& cfg,
+                    std::vector<FleetRequest>& trace) {
+  MIB_ENSURE(!trace.empty(), "cannot stamp an empty trace");
+  const auto times =
+      workload::generate_arrivals(cfg, static_cast<int>(trace.size()));
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].request.arrival_s = times[i];
+  }
+}
+
+void FleetConfig::validate() const {
+  engine.validate();
+  replica.validate();
+  MIB_ENSURE(n_replicas >= 1, "fleet needs at least one replica");
+  admission.validate();
+  retry.validate();
+  for (const auto& w : faults) w.validate();
+  if (autoscaler.enabled) {
+    autoscaler.validate();
+    MIB_ENSURE(n_replicas >= autoscaler.min_replicas &&
+                   n_replicas <= autoscaler.max_replicas,
+               "initial replica count outside autoscaler bounds");
+  }
+  slo.validate();
+  const int pool = autoscaler.enabled
+                       ? std::max(n_replicas, autoscaler.max_replicas)
+                       : n_replicas;
+  for (const auto& w : faults) {
+    MIB_ENSURE(w.replica < pool,
+               "fault window names replica " << w.replica
+                                             << " outside the pool of "
+                                             << pool);
+  }
+}
+
+FleetSimulator::FleetSimulator(FleetConfig cfg)
+    : cfg_(std::move(cfg)),
+      cost_(cfg_.engine.model, cfg_.engine.cluster, cfg_.engine.plan,
+            cfg_.engine.cost),
+      mem_(cfg_.engine.model, cfg_.engine.plan, cfg_.engine.cost.weight_dtype,
+           cfg_.engine.cost.kv_dtype, cfg_.engine.cost.act_dtype) {
+  cfg_.validate();
+  const double budget = cfg_.engine.cluster.device().usable_mem() -
+                        mem_.weight_bytes_per_device() -
+                        mem_.activation_bytes(cfg_.replica.prefill_tokens_per_step);
+  MIB_ENSURE(budget > 0, cfg_.engine.model.name
+                             << ": weights leave no room for KV cache");
+  kv_capacity_tokens_ =
+      static_cast<long long>(budget / mem_.kv_bytes_per_token_per_device());
+  MIB_ENSURE(kv_capacity_tokens_ >= 1, "KV capacity below one token");
+}
+
+int FleetSimulator::pool_size() const {
+  return cfg_.autoscaler.enabled
+             ? std::max(cfg_.n_replicas, cfg_.autoscaler.max_replicas)
+             : cfg_.n_replicas;
+}
+
+FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
+  MIB_ENSURE(!trace.empty(), "empty fleet trace");
+  const auto n = trace.size();
+
+  // --- intake: validate, fold vision tokens, sort by arrival ---
+  std::vector<Sequence> intake;
+  intake.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& fr = trace[i];
+    fr.request.validate();
+    MIB_ENSURE(fr.prefix_tokens >= 0, "negative prefix length");
+    Sequence s;
+    s.request_id = static_cast<int>(i);
+    s.arrival_s = fr.request.arrival_s;
+    s.input_tokens = cost_.effective_prompt_tokens(fr.request.input_tokens,
+                                                   fr.request.n_images);
+    s.output_tokens = fr.request.output_tokens;
+    s.prefix_hash = fr.prefix_hash;
+    s.prefix_tokens = std::min(fr.prefix_tokens, s.input_tokens - 1);
+    if (cfg_.admission.deadline_s > 0.0) {
+      s.deadline_s = s.arrival_s + cfg_.admission.deadline_s;
+    }
+    MIB_ENSURE(s.input_tokens + s.output_tokens <= kv_capacity_tokens_,
+               "request " << i << " exceeds replica KV capacity even alone");
+    intake.push_back(s);
+  }
+  std::stable_sort(intake.begin(), intake.end(),
+                   [](const Sequence& a, const Sequence& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+
+  // --- fleet state ---
+  const int pool = pool_size();
+  std::vector<Replica> reps;
+  reps.reserve(static_cast<std::size_t>(pool));
+  for (int i = 0; i < pool; ++i) {
+    reps.emplace_back(&cost_, kv_capacity_tokens_, cfg_.replica);
+  }
+  std::vector<bool> active(static_cast<std::size_t>(pool), false);
+  std::vector<bool> draining(static_cast<std::size_t>(pool), false);
+  std::vector<bool> was_up(static_cast<std::size_t>(pool), true);
+  for (int i = 0; i < cfg_.n_replicas; ++i) active[static_cast<std::size_t>(i)] = true;
+
+  const FaultSchedule faults(cfg_.faults);
+  Router router(cfg_.policy, cfg_.seed ^ 0xF1EE7ull);
+  AdmissionController admission(cfg_.admission);
+  const Autoscaler scaler(cfg_.autoscaler);
+
+  FleetReport rep;
+  rep.submitted = static_cast<long long>(n);
+  rep.requests.resize(n);
+  rep.replicas.resize(static_cast<std::size_t>(pool));
+  for (int i = 0; i < pool; ++i) {
+    rep.replicas[static_cast<std::size_t>(i)].replica = i;
+  }
+
+  struct PendingRetry {
+    double ready_s = 0.0;
+    Sequence seq;
+  };
+  std::vector<PendingRetry> retries;
+
+  std::size_t next_arrival = 0;
+  std::size_t resolved = 0;
+  double now = 0.0;
+  double next_tick = cfg_.autoscaler.enabled ? cfg_.autoscaler.interval_s : kInf;
+
+  // Runaway guard, scaled like the single-replica simulator plus the retry
+  // budget (every retry can redo a request's full work).
+  long long max_steps = 0;
+  for (const auto& s : intake) {
+    max_steps += s.input_tokens + s.output_tokens + 4;
+  }
+  max_steps = std::max<long long>(max_steps, 1024) * 4 *
+              (1 + cfg_.retry.max_retries);
+
+  auto total_steps = [&] {
+    long long t = 0;
+    for (const auto& r : reps) t += r.steps();
+    return t;
+  };
+  auto routable_at = [&](double t) {
+    std::vector<int> up;
+    for (int i = 0; i < pool; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (active[u] && !draining[u] && faults.up(i, t)) up.push_back(i);
+    }
+    return up;
+  };
+  auto queued_total = [&] {
+    long long q = 0;
+    for (const auto& r : reps) q += r.queue_depth();
+    return q;
+  };
+  auto record_terminal = [&](const Sequence& s, RequestStatus status) {
+    auto& rec = rep.requests[static_cast<std::size_t>(s.request_id)];
+    rec.status = status;
+    rec.arrival_s = s.arrival_s;
+    rec.input_tokens = s.input_tokens;
+    rec.output_tokens = s.output_tokens;
+    rec.retries = s.retries;
+    rec.had_prefix = s.prefix_hash != 0;
+    ++resolved;
+  };
+  auto dispatch = [&](Sequence seq, double t) {
+    const auto up = routable_at(t);
+    if (up.empty()) {
+      // Whole fleet dark: park until the next fault transition revives
+      // someone (validated finite — fault windows always end).
+      const double wake = faults.next_transition_after(t);
+      MIB_ENSURE(std::isfinite(wake),
+                 "no replica in service and none scheduled to recover");
+      retries.push_back(PendingRetry{wake, seq});
+      return;
+    }
+    const int idx = router.route(seq, reps, up);
+    reps[static_cast<std::size_t>(idx)].enqueue(seq);
+  };
+
+  while (resolved < n) {
+    // --- 1. kick every in-service replica that is idle but has work ---
+    for (int i = 0; i < pool; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (!active[u] || !faults.up(i, now)) continue;
+      Replica& r = reps[u];
+      if (r.mid_step()) continue;
+      for (auto& s : r.drop_expired(now)) {
+        admission.count_expired();
+        record_terminal(s, RequestStatus::kExpired);
+        ++rep.expired;
+      }
+      if (r.has_work()) r.begin_step(now);
+    }
+    // Draining replicas deactivate once empty.
+    for (int i = 0; i < pool; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (draining[u] && !reps[u].mid_step() && !reps[u].has_work()) {
+        draining[u] = false;
+        active[u] = false;
+      }
+    }
+    if (resolved >= n) break;
+
+    // --- 2. next event time ---
+    double t_next = kInf;
+    if (next_arrival < intake.size()) {
+      t_next = std::min(t_next, intake[next_arrival].arrival_s);
+    }
+    for (const auto& r : reps) {
+      if (r.mid_step()) t_next = std::min(t_next, r.step_end_s());
+    }
+    for (const auto& p : retries) t_next = std::min(t_next, p.ready_s);
+    t_next = std::min(t_next, faults.next_transition_after(now));
+    if (cfg_.autoscaler.enabled) t_next = std::min(t_next, next_tick);
+    MIB_ENSURE(std::isfinite(t_next), "fleet event loop stalled");
+    now = std::max(now, t_next);
+
+    // --- 3a. fault transitions: evacuate newly-down replicas ---
+    for (int i = 0; i < pool; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      const bool up_now = faults.up(i, now);
+      if (was_up[u] && !up_now && active[u]) {
+        for (auto& s : reps[u].evacuate()) {
+          if (s.retries >= cfg_.retry.max_retries) {
+            record_terminal(s, RequestStatus::kLost);
+            ++rep.lost;
+            continue;
+          }
+          ++s.retries;
+          ++rep.retries;
+          retries.push_back(
+              PendingRetry{now + cfg_.retry.delay(s.retries), s});
+        }
+      }
+      was_up[u] = up_now;
+    }
+
+    // --- 3b. step completions ---
+    for (int i = 0; i < pool; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      Replica& r = reps[u];
+      if (!r.mid_step() || r.step_end_s() > now) continue;
+      const double finish = r.step_end_s();
+      for (auto& s : r.complete_step()) {
+        auto& rec = rep.requests[static_cast<std::size_t>(s.request_id)];
+        record_terminal(s, RequestStatus::kCompleted);
+        rec.first_token_s = s.first_token_s;
+        rec.finish_s = finish;
+        rec.replica = i;
+        rec.prefix_hit = s.prefix_hit;
+        ++rep.completed;
+        auto& rr = rep.replicas[u];
+        ++rr.completed;
+        rr.ttft_s.add(rec.ttft());
+        rr.itl_s.add(rec.itl());
+        rr.e2e_s.add(rec.e2e());
+      }
+    }
+
+    // --- 3c. fresh arrivals (bounded-queue admission, then routing) ---
+    while (next_arrival < intake.size() &&
+           intake[next_arrival].arrival_s <= now) {
+      Sequence s = intake[next_arrival++];
+      if (!admission.try_admit(queued_total())) {
+        record_terminal(s, RequestStatus::kRejected);
+        ++rep.rejected;
+        continue;
+      }
+      dispatch(std::move(s), now);
+    }
+
+    // --- 3d. due retries (already admitted; deterministic order) ---
+    {
+      std::vector<PendingRetry> due;
+      for (auto it = retries.begin(); it != retries.end();) {
+        if (it->ready_s <= now) {
+          due.push_back(*it);
+          it = retries.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::stable_sort(due.begin(), due.end(),
+                       [](const PendingRetry& a, const PendingRetry& b) {
+                         return std::tie(a.ready_s, a.seq.request_id) <
+                                std::tie(b.ready_s, b.seq.request_id);
+                       });
+      for (auto& p : due) dispatch(std::move(p.seq), now);
+    }
+
+    // --- 3e. autoscaler tick ---
+    while (cfg_.autoscaler.enabled && next_tick <= now) {
+      const long long queued = queued_total();
+      int n_active = 0;
+      bool any_idle = false;
+      for (int i = 0; i < pool; ++i) {
+        const auto u = static_cast<std::size_t>(i);
+        if (!active[u] || draining[u]) continue;
+        ++n_active;
+        if (!reps[u].mid_step() && !reps[u].has_work()) any_idle = true;
+      }
+      const int decision = scaler.decide(queued, n_active, any_idle);
+      if (decision > 0) {
+        for (int i = 0; i < pool; ++i) {
+          const auto u = static_cast<std::size_t>(i);
+          if (!active[u] && faults.up(i, now)) {
+            active[u] = true;
+            rep.scale_events.push_back(
+                ScaleEvent{now, "add", i, queued, n_active + 1});
+            break;
+          }
+        }
+      } else if (decision < 0) {
+        for (int i = pool - 1; i >= 0; --i) {
+          const auto u = static_cast<std::size_t>(i);
+          if (active[u] && !draining[u] && !reps[u].mid_step() &&
+              !reps[u].has_work()) {
+            draining[u] = true;
+            rep.scale_events.push_back(
+                ScaleEvent{now, "drain", i, queued, n_active - 1});
+            break;
+          }
+        }
+      }
+      next_tick += cfg_.autoscaler.interval_s;
+    }
+
+    MIB_ENSURE(total_steps() <= max_steps,
+               "fleet exceeded its step bound (livelock?)");
+  }
+
+  // --- report assembly ---
+  rep.makespan_s = now;
+  double total_tokens = 0.0;
+  for (const auto& rec : rep.requests) {
+    if (!rec.completed()) continue;
+    rep.ttft_s.add(rec.ttft());
+    rep.itl_s.add(rec.itl());
+    rep.e2e_s.add(rec.e2e());
+    total_tokens += rec.input_tokens + rec.output_tokens;
+  }
+  rep.throughput_tok_s = now > 0.0 ? total_tokens / now : 0.0;
+  rep.slo = summarize_slo(rep.requests, cfg_.slo, now);
+  int peak = 0;
+  for (int i = 0; i < pool; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    auto& rr = rep.replicas[u];
+    rr.steps = reps[u].steps();
+    rr.preemptions = reps[u].preemptions();
+    rr.busy_s = reps[u].busy_s();
+    rr.utilization = now > 0.0 ? rr.busy_s / now : 0.0;
+    rr.prefix_lookups = reps[u].prefix_lookups();
+    rr.prefix_hits = reps[u].prefix_hits();
+    rep.prefix_lookups += rr.prefix_lookups;
+    rep.prefix_hits += rr.prefix_hits;
+    if (rr.steps > 0) ++peak;
+  }
+  rep.replicas_used = peak;
+
+  MIB_ENSURE(rep.completed + rep.rejected + rep.expired + rep.lost ==
+                 rep.submitted,
+             "request conservation violated: " << rep.completed << "+"
+                                               << rep.rejected << "+"
+                                               << rep.expired << "+"
+                                               << rep.lost
+                                               << " != " << rep.submitted);
+  return rep;
+}
+
+}  // namespace mib::fleet

@@ -1,0 +1,133 @@
+// FleetSimulator — N identical engine replicas behind a front-end router.
+//
+// The single-replica layer answers "how fast is one node"; this layer
+// answers the capacity question one level up: how does a fleet route,
+// admit, scale and survive failures while holding latency SLOs. The
+// simulation is event-driven: replicas advance one continuous-batching
+// step at a time (priced by the shared LayerCostModel), and between steps
+// the router dispatches arrivals, the admission controller sheds load, the
+// fault schedule kills/revives replicas (evacuated work is retried with
+// backoff), and the autoscaler reacts to queue depth. Everything is
+// deterministic for a fixed seed.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "engine/engine.h"
+#include "fleet/admission.h"
+#include "fleet/autoscaler.h"
+#include "fleet/faults.h"
+#include "fleet/replica.h"
+#include "fleet/router.h"
+#include "fleet/slo.h"
+#include "workload/arrivals.h"
+#include "workload/generator.h"
+
+namespace mib::fleet {
+
+/// One request as the fleet front-end sees it: the engine request (with its
+/// arrival stamp) plus conversation identity for affinity routing and
+/// prefix caching.
+struct FleetRequest {
+  engine::Request request;
+  std::uint64_t prefix_hash = 0;  ///< conversation identity; 0 = none
+  int prefix_tokens = 0;          ///< reusable prefix length
+};
+
+/// Wrap a plain request trace (no conversation structure).
+std::vector<FleetRequest> as_fleet_trace(
+    const std::vector<engine::Request>& trace);
+
+/// Wrap a conversation workload, interleaved turn-major (turn 0 of every
+/// conversation, then turn 1, ...) so consecutive turns of one conversation
+/// are separated by other traffic and the earlier turn can finish — and
+/// publish its prefix — before the next one arrives.
+std::vector<FleetRequest> as_fleet_trace(
+    const std::vector<workload::Turn>& turns);
+
+/// Stamp arrival times onto a fleet trace in order.
+void stamp_arrivals(const workload::ArrivalConfig& cfg,
+                    std::vector<FleetRequest>& trace);
+
+struct FleetConfig {
+  engine::EngineConfig engine;  ///< every replica runs this engine
+  ReplicaConfig replica;
+  /// Replicas in service at t=0 (the autoscaler may grow to its ceiling).
+  int n_replicas = 2;
+  RoutePolicy policy = RoutePolicy::kLeastOutstanding;
+  AdmissionConfig admission;
+  RetryPolicy retry;
+  std::vector<FaultWindow> faults;
+  AutoscalerConfig autoscaler;
+  SloConfig slo;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Per-replica share of one run.
+struct ReplicaReport {
+  int replica = 0;
+  long long completed = 0;
+  long long steps = 0;
+  int preemptions = 0;
+  double busy_s = 0.0;
+  double utilization = 0.0;  ///< busy_s / makespan
+  long long prefix_lookups = 0;
+  long long prefix_hits = 0;
+  Samples ttft_s, itl_s, e2e_s;
+};
+
+struct FleetReport {
+  double makespan_s = 0.0;
+  double throughput_tok_s = 0.0;  ///< (in+out) tokens of completed / makespan
+
+  long long submitted = 0;
+  long long completed = 0;
+  long long rejected = 0;  ///< shed at admission
+  long long expired = 0;   ///< deadline passed while queued
+  long long lost = 0;      ///< retry budget exhausted
+  long long retries = 0;   ///< re-routes after replica failures
+
+  Samples ttft_s, itl_s, e2e_s;  ///< fleet-wide, completed requests
+  SloSummary slo;                ///< goodput under the configured SLOs
+
+  long long prefix_lookups = 0;
+  long long prefix_hits = 0;
+  double prefix_hit_rate() const {
+    return prefix_lookups > 0
+               ? static_cast<double>(prefix_hits) /
+                     static_cast<double>(prefix_lookups)
+               : 0.0;
+  }
+
+  /// Replicas that executed at least one step (shows autoscaler growth).
+  int replicas_used = 0;
+  std::vector<ReplicaReport> replicas;     ///< one per pool slot
+  std::vector<ScaleEvent> scale_events;
+  std::vector<RequestRecord> requests;     ///< per-request outcomes
+};
+
+class FleetSimulator {
+ public:
+  explicit FleetSimulator(FleetConfig cfg);
+
+  const FleetConfig& config() const { return cfg_; }
+  /// KV token capacity of each replica.
+  long long kv_token_capacity() const { return kv_capacity_tokens_; }
+  /// Provisioned pool (n_replicas, or the autoscaler ceiling if larger).
+  int pool_size() const;
+
+  /// Serve a trace to resolution: every request completes, is rejected,
+  /// expires, or is lost. Deterministic for a fixed seed.
+  FleetReport run(const std::vector<FleetRequest>& trace) const;
+
+ private:
+  FleetConfig cfg_;
+  engine::LayerCostModel cost_;
+  engine::MemoryModel mem_;
+  long long kv_capacity_tokens_ = 0;
+};
+
+}  // namespace mib::fleet

@@ -1,0 +1,230 @@
+#include "fleet/replica.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/error.h"
+
+namespace mib::fleet {
+
+void ReplicaConfig::validate() const {
+  MIB_ENSURE(max_batch >= 1, "replica max_batch must be >= 1");
+  MIB_ENSURE(prefill_tokens_per_step >= 1,
+             "replica prefill budget must be >= 1 token");
+  MIB_ENSURE(prefix_cache_entries >= 0, "negative prefix cache size");
+}
+
+Replica::Replica(const engine::LayerCostModel* cost,
+                 long long kv_capacity_tokens, ReplicaConfig cfg)
+    : cost_(cost), kv_capacity_(kv_capacity_tokens), cfg_(cfg) {
+  MIB_ENSURE(cost_ != nullptr, "replica needs a cost model");
+  MIB_ENSURE(kv_capacity_ >= 1, "replica KV capacity below one token");
+  cfg_.validate();
+}
+
+long long Replica::outstanding_tokens() const {
+  long long total = 0;
+  for (const auto& s : waiting_) total += s.remaining_tokens();
+  for (const auto& s : running_) total += s.remaining_tokens();
+  return total;
+}
+
+long long Replica::kv_in_use() const {
+  long long used = 0;
+  for (const auto& s : running_) used += s.kv_tokens();
+  return used;
+}
+
+void Replica::touch_prefix(std::uint64_t hash) {
+  if (hash == 0 || cfg_.prefix_cache_entries == 0) return;
+  prefix_cache_[hash] = ++prefix_tick_;
+  while (prefix_cache_.size() >
+         static_cast<std::size_t>(cfg_.prefix_cache_entries)) {
+    auto oldest = prefix_cache_.begin();
+    for (auto it = prefix_cache_.begin(); it != prefix_cache_.end(); ++it) {
+      if (it->second < oldest->second) oldest = it;
+    }
+    prefix_cache_.erase(oldest);
+  }
+}
+
+std::vector<Sequence> Replica::drop_expired(double now) {
+  std::vector<Sequence> expired;
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    if (it->deadline_s > 0.0 && now > it->deadline_s) {
+      expired.push_back(*it);
+      it = waiting_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+void Replica::admit() {
+  while (!waiting_.empty() &&
+         static_cast<int>(running_.size()) < cfg_.max_batch) {
+    const Sequence& head = waiting_.front();
+    if (kv_in_use() + head.input_tokens > kv_capacity_) break;
+    Sequence s = head;
+    waiting_.pop_front();
+    // Prefix-cache lookup happens when service starts: a warm conversation
+    // prefix is skipped (its KV "reappears" from the cache), so prefill
+    // charges only the new turn.
+    if (s.prefix_hash != 0) {
+      ++prefix_lookups_;
+      if (prefix_warm(s.prefix_hash)) {
+        ++prefix_hits_;
+        s.prefix_hit = true;
+        s.prefilled = std::min(s.prefix_tokens, s.input_tokens - 1);
+        touch_prefix(s.prefix_hash);
+      }
+    }
+    running_.push_back(s);
+  }
+}
+
+void Replica::begin_step(double now) {
+  MIB_ENSURE(!mid_step_, "begin_step while a step is in flight");
+  MIB_ENSURE(has_work(), "begin_step on an idle replica");
+
+  if (running_.empty()) admission_blocked_ = false;
+  if (!admission_blocked_) admit();
+  MIB_ENSURE(!running_.empty(), "replica admitted nothing despite work");
+
+  // vLLM recompute preemption: the youngest sequence loses its KV and
+  // rejoins the local queue from scratch; admission pauses until a running
+  // sequence retires (prevents readmit-thrash).
+  auto preempt_youngest = [&] {
+    auto victim = std::max_element(
+        running_.begin(), running_.end(), [](const Sequence& a, const Sequence& b) {
+          return std::tie(a.arrival_s, a.request_id) <
+                 std::tie(b.arrival_s, b.request_id);
+        });
+    Sequence s = *victim;
+    running_.erase(victim);
+    s.prefilled = 0;
+    s.generated = 0;
+    s.first_token_s = -1.0;
+    s.prefix_hit = false;
+    waiting_.push_front(s);
+    ++preemptions_;
+    admission_blocked_ = true;
+  };
+
+  int decode_batch = 0;
+  double ctx_sum = 0.0;
+  int prefill_tokens = 0;
+  for (;;) {
+    decode_batch = 0;
+    ctx_sum = 0.0;
+    for (const auto& s : running_) {
+      if (s.prefill_done()) {
+        ++decode_batch;
+        ctx_sum += static_cast<double>(s.kv_tokens());
+      }
+    }
+    // Decode grows every finished context by one token this step.
+    if (kv_in_use() + decode_batch > kv_capacity_ && running_.size() > 1) {
+      preempt_youngest();
+      continue;
+    }
+    // Chunked prefill within the per-step token budget.
+    int budget = cfg_.prefill_tokens_per_step;
+    prefill_tokens = 0;
+    for (auto& s : running_) {
+      if (s.prefill_done() || budget <= 0) continue;
+      const int chunk = std::min(budget, s.input_tokens - s.prefilled);
+      if (kv_in_use() + chunk <= kv_capacity_) {
+        s.prefilled += chunk;
+        budget -= chunk;
+        prefill_tokens += chunk;
+      }
+    }
+    // All-prefill batch that cannot fit a single chunk: free KV by
+    // preempting until one fits (never leaves fewer than one sequence —
+    // a lone sequence always fits, the fleet validates that on submit).
+    if (decode_batch == 0 && prefill_tokens == 0 && running_.size() > 1) {
+      preempt_youngest();
+      continue;
+    }
+    break;
+  }
+  MIB_ENSURE(decode_batch > 0 || prefill_tokens > 0,
+             "replica built a zero-work step");
+
+  // Price the step exactly like the single-replica simulator: LM head and
+  // per-step overhead are charged once per engine step, not once per phase.
+  double step_time = 0.0;
+  if (decode_batch > 0) {
+    const double avg_ctx =
+        std::max(1.0, ctx_sum / static_cast<double>(decode_batch));
+    step_time += cost_->decode_step(decode_batch, avg_ctx).total();
+  }
+  if (prefill_tokens > 0) {
+    const auto pf = cost_->prefill(1, prefill_tokens);
+    step_time += pf.total() - pf.head - pf.overhead;
+    if (decode_batch == 0) step_time += pf.head + pf.overhead;
+  }
+  MIB_ENSURE(step_time > 0.0, "zero-cost step");
+
+  mid_step_ = true;
+  step_end_ = now + step_time;
+  busy_s_ += step_time;
+  ++steps_;
+}
+
+std::vector<Sequence> Replica::complete_step() {
+  MIB_ENSURE(mid_step_, "complete_step without a step in flight");
+  mid_step_ = false;
+  const double now = step_end_;
+
+  std::vector<Sequence> finished;
+  for (auto it = running_.begin(); it != running_.end();) {
+    Sequence& s = *it;
+    bool advanced = false;
+    if (s.prefill_done() && s.generated < s.output_tokens) {
+      // A sequence whose prefill completed this step emits its first token
+      // now; afterwards it decodes one token per step.
+      if (s.first_token_s < 0.0) {
+        s.first_token_s = now;
+        s.generated = 1;
+      } else {
+        ++s.generated;
+      }
+      advanced = true;
+    }
+    if (advanced && s.finished()) {
+      // The conversation's history (prefix + new turn) is now resident.
+      touch_prefix(s.prefix_hash);
+      finished.push_back(s);
+      it = running_.erase(it);
+      admission_blocked_ = false;  // capacity retired: admissions resume
+    } else {
+      ++it;
+    }
+  }
+  return finished;
+}
+
+std::vector<Sequence> Replica::evacuate() {
+  std::vector<Sequence> out;
+  out.reserve(running_.size() + waiting_.size());
+  for (auto& s : running_) out.push_back(s);
+  for (auto& s : waiting_) out.push_back(s);
+  running_.clear();
+  waiting_.clear();
+  for (auto& s : out) {
+    s.prefilled = 0;
+    s.generated = 0;
+    s.first_token_s = -1.0;
+    s.prefix_hit = false;
+  }
+  // Node restart: KV (and with it every cached prefix) is gone.
+  prefix_cache_.clear();
+  mid_step_ = false;
+  admission_blocked_ = false;
+  return out;
+}
+
+}  // namespace mib::fleet

@@ -1,0 +1,125 @@
+// One steppable continuous-batching engine replica inside a fleet.
+//
+// The single-replica ServingSimulator runs a whole trace to completion; a
+// fleet needs replicas that advance one engine step at a time so the router,
+// autoscaler and fault injector can act between steps. A Replica owns its
+// waiting queue and running batch, prices each step with the shared
+// LayerCostModel (chunked prefill + batched decode, vLLM recompute
+// preemption under KV pressure — the same discipline as
+// engine::ServingSimulator), and additionally models per-replica prefix
+// caching: a conversation whose earlier turn completed here skips its warm
+// prefix during prefill, which is what session-affinity routing monetizes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "engine/layer_cost.h"
+
+namespace mib::fleet {
+
+/// One request in flight on (or queued for) a replica.
+struct Sequence {
+  int request_id = -1;       ///< index into the fleet trace
+  double arrival_s = 0.0;    ///< submission time at the front-end
+  double deadline_s = 0.0;   ///< absolute service deadline; 0 = none
+  int input_tokens = 0;      ///< effective prompt tokens (vision folded in)
+  int output_tokens = 0;
+  std::uint64_t prefix_hash = 0;  ///< conversation identity; 0 = none
+  int prefix_tokens = 0;          ///< reusable prefix length (system+history)
+  int retries = 0;                ///< re-routes after replica failures
+
+  // progress
+  int prefilled = 0;
+  int generated = 0;
+  double first_token_s = -1.0;
+  bool prefix_hit = false;
+
+  bool prefill_done() const { return prefilled >= input_tokens; }
+  bool finished() const { return generated >= output_tokens; }
+  long long kv_tokens() const { return prefilled + generated; }
+  /// Work remaining (queued-token load proxy for the router).
+  long long remaining_tokens() const {
+    return (input_tokens - prefilled) + (output_tokens - generated);
+  }
+};
+
+struct ReplicaConfig {
+  int max_batch = 64;
+  int prefill_tokens_per_step = 2048;
+  /// Conversations kept warm in the replica's prefix cache (LRU).
+  int prefix_cache_entries = 512;
+
+  void validate() const;
+};
+
+class Replica {
+ public:
+  /// `cost` outlives the replica (the fleet owns one shared model).
+  Replica(const engine::LayerCostModel* cost, long long kv_capacity_tokens,
+          ReplicaConfig cfg);
+
+  // --- queueing ---
+  void enqueue(const Sequence& seq) { waiting_.push_back(seq); }
+  int queue_depth() const { return static_cast<int>(waiting_.size()); }
+  int running_count() const { return static_cast<int>(running_.size()); }
+  bool has_work() const { return !waiting_.empty() || !running_.empty(); }
+  /// Total tokens still to produce across queued + running work.
+  long long outstanding_tokens() const;
+
+  // --- stepping (driven by the fleet event loop) ---
+  bool mid_step() const { return mid_step_; }
+  double step_end_s() const { return step_end_; }
+  /// Drop queued sequences whose deadline passed (checked at scheduling
+  /// boundaries, before admission). Returns them for accounting.
+  std::vector<Sequence> drop_expired(double now);
+  /// Begin one engine step at absolute time `now`. Requires !mid_step()
+  /// and has_work().
+  void begin_step(double now);
+  /// Finish the in-flight step; returns the sequences completed by it.
+  std::vector<Sequence> complete_step();
+  /// Failure: drop all queued and running work (KV and progress lost) and
+  /// clear the prefix cache. Returns the evacuated sequences.
+  std::vector<Sequence> evacuate();
+
+  // --- prefix cache ---
+  bool prefix_warm(std::uint64_t hash) const {
+    return hash != 0 && prefix_cache_.count(hash) > 0;
+  }
+
+  // --- lifetime stats ---
+  long long steps() const { return steps_; }
+  int preemptions() const { return preemptions_; }
+  double busy_s() const { return busy_s_; }
+  long long prefix_lookups() const { return prefix_lookups_; }
+  long long prefix_hits() const { return prefix_hits_; }
+
+ private:
+  void admit();
+  long long kv_in_use() const;
+  void touch_prefix(std::uint64_t hash);
+
+  const engine::LayerCostModel* cost_;
+  long long kv_capacity_;
+  ReplicaConfig cfg_;
+
+  std::deque<Sequence> waiting_;
+  std::vector<Sequence> running_;
+  bool admission_blocked_ = false;
+
+  bool mid_step_ = false;
+  double step_end_ = 0.0;
+
+  long long steps_ = 0;
+  int preemptions_ = 0;
+  double busy_s_ = 0.0;
+  long long prefix_lookups_ = 0;
+  long long prefix_hits_ = 0;
+  /// hash -> last-use tick (LRU eviction by smallest tick).
+  std::map<std::uint64_t, long long> prefix_cache_;
+  long long prefix_tick_ = 0;
+};
+
+}  // namespace mib::fleet

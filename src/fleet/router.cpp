@@ -1,0 +1,86 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mib::fleet {
+
+const char* route_policy_name(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin: return "round-robin";
+    case RoutePolicy::kLeastOutstanding: return "least-outstanding";
+    case RoutePolicy::kPrefixAffinity: return "prefix-affinity";
+  }
+  return "unknown";
+}
+
+int Router::least_loaded(const std::vector<Replica>& replicas,
+                         const std::vector<int>& routable) {
+  int best = routable.front();
+  long long best_load = replicas[static_cast<std::size_t>(best)]
+                            .outstanding_tokens();
+  for (std::size_t i = 1; i < routable.size(); ++i) {
+    const int idx = routable[i];
+    const long long load =
+        replicas[static_cast<std::size_t>(idx)].outstanding_tokens();
+    if (load < best_load || (load == best_load && idx < best)) {
+      best = idx;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+int Router::route(const Sequence& seq, const std::vector<Replica>& replicas,
+                  const std::vector<int>& routable) {
+  MIB_ENSURE(!routable.empty(), "routing with no replica in service");
+
+  switch (policy_) {
+    case RoutePolicy::kRoundRobin:
+      return routable[static_cast<std::size_t>(rr_next_++ %
+                                               routable.size())];
+
+    case RoutePolicy::kLeastOutstanding: {
+      if (routable.size() == 1) return routable.front();
+      // Power-of-two-choices: two distinct random candidates, keep the one
+      // with fewer outstanding tokens (ties -> lower index).
+      const auto n = static_cast<std::uint64_t>(routable.size());
+      const auto a = static_cast<std::size_t>(rng_.uniform_index(n));
+      auto b = static_cast<std::size_t>(rng_.uniform_index(n - 1));
+      if (b >= a) ++b;
+      const int ia = routable[a], ib = routable[b];
+      const long long la =
+          replicas[static_cast<std::size_t>(ia)].outstanding_tokens();
+      const long long lb =
+          replicas[static_cast<std::size_t>(ib)].outstanding_tokens();
+      if (la < lb) return ia;
+      if (lb < la) return ib;
+      return std::min(ia, ib);
+    }
+
+    case RoutePolicy::kPrefixAffinity: {
+      if (seq.prefix_hash != 0) {
+        const auto it = pins_.find(seq.prefix_hash);
+        if (it != pins_.end()) {
+          // Honor the pin when that replica accepts traffic; otherwise fall
+          // back without re-pinning (the prefix may still be warm there
+          // after recovery).
+          if (std::find(routable.begin(), routable.end(), it->second) !=
+              routable.end()) {
+            return it->second;
+          }
+          return least_loaded(replicas, routable);
+        }
+        const int pick = least_loaded(replicas, routable);
+        pins_.emplace(seq.prefix_hash, pick);
+        return pick;
+      }
+      return least_loaded(replicas, routable);
+    }
+  }
+  MIB_ENSURE(false, "unhandled routing policy");
+  return routable.front();
+}
+
+}  // namespace mib::fleet

@@ -1,0 +1,81 @@
+#include "fleet/slo.h"
+
+namespace mib::fleet {
+
+const char* to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kCompleted: return "completed";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kExpired: return "expired";
+    case RequestStatus::kLost: return "lost";
+  }
+  return "unknown";
+}
+
+SloSummary summarize_slo(const std::vector<RequestRecord>& records,
+                         const SloConfig& slo, double makespan_s) {
+  slo.validate();
+  SloSummary s;
+  s.submitted = static_cast<long long>(records.size());
+  double attained_tokens = 0.0;
+  for (const auto& r : records) {
+    if (r.completed()) ++s.completed;
+    if (r.meets(slo)) {
+      ++s.attained;
+      attained_tokens += r.output_tokens;
+    }
+  }
+  if (s.submitted > 0) {
+    s.attainment =
+        static_cast<double>(s.attained) / static_cast<double>(s.submitted);
+  }
+  if (makespan_s > 0.0) {
+    s.goodput_qps = static_cast<double>(s.attained) / makespan_s;
+    s.goodput_tok_s = attained_tokens / makespan_s;
+  }
+  return s;
+}
+
+CapacityPoint find_capacity_qps(
+    const std::function<double(double)>& attainment_at_qps, double lo_qps,
+    double hi_qps, double target, int iterations) {
+  MIB_ENSURE(lo_qps > 0.0 && hi_qps > lo_qps, "capacity search needs 0 < lo < hi");
+  MIB_ENSURE(target > 0.0 && target <= 1.0, "target attainment in (0, 1]");
+  MIB_ENSURE(iterations >= 1, "capacity search needs >= 1 iteration");
+
+  CapacityPoint best;
+  // The whole band may pass (capacity above hi) or fail (below lo).
+  const double at_hi = attainment_at_qps(hi_qps);
+  ++best.evaluations;
+  if (at_hi >= target) {
+    best.qps = hi_qps;
+    best.attainment = at_hi;
+    return best;
+  }
+  const double at_lo = attainment_at_qps(lo_qps);
+  ++best.evaluations;
+  if (at_lo < target) {
+    best.qps = 0.0;
+    best.attainment = at_lo;
+    return best;
+  }
+  best.qps = lo_qps;
+  best.attainment = at_lo;
+
+  double lo = lo_qps, hi = hi_qps;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double a = attainment_at_qps(mid);
+    ++best.evaluations;
+    if (a >= target) {
+      lo = mid;
+      best.qps = mid;
+      best.attainment = a;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace mib::fleet

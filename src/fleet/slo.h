@@ -1,0 +1,92 @@
+// SLO accounting: per-request outcomes, goodput under TTFT/ITL SLOs, and
+// the MoE-CAP-style capacity search (max sustainable QPS at a target SLO
+// attainment, found by bisection).
+//
+// Attainment is strict: rejected, expired and lost requests are SLO misses,
+// so shedding load does not inflate the score — goodput counts only
+// requests that completed within both SLOs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mib::fleet {
+
+/// Latency SLOs a request must meet to count toward goodput.
+struct SloConfig {
+  double ttft_s = 2.0;   ///< time-to-first-token bound
+  double itl_s = 0.05;   ///< mean inter-token latency bound
+
+  void validate() const {
+    MIB_ENSURE(ttft_s > 0.0, "TTFT SLO must be > 0");
+    MIB_ENSURE(itl_s > 0.0, "ITL SLO must be > 0");
+  }
+};
+
+enum class RequestStatus {
+  kCompleted,  ///< served to the last token
+  kRejected,   ///< shed at admission (queue full)
+  kExpired,    ///< deadline passed while queued
+  kLost,       ///< retry budget exhausted after replica failures
+};
+
+const char* to_string(RequestStatus status);
+
+/// Fleet-level outcome of one request.
+struct RequestRecord {
+  RequestStatus status = RequestStatus::kRejected;
+  double arrival_s = 0.0;
+  double first_token_s = -1.0;
+  double finish_s = -1.0;
+  int input_tokens = 0;    ///< effective prompt tokens (vision folded in)
+  int output_tokens = 0;
+  int replica = -1;        ///< replica that completed it
+  int retries = 0;
+  bool had_prefix = false;  ///< carried a cacheable conversation prefix
+  bool prefix_hit = false;  ///< prefill skipped a warm prefix
+
+  bool completed() const { return status == RequestStatus::kCompleted; }
+  double ttft() const { return first_token_s - arrival_s; }
+  double e2e() const { return finish_s - arrival_s; }
+  /// Mean inter-token latency; 0 for single-token outputs.
+  double itl() const {
+    return output_tokens > 1
+               ? (finish_s - first_token_s) / (output_tokens - 1)
+               : 0.0;
+  }
+  bool meets(const SloConfig& slo) const {
+    return completed() && ttft() <= slo.ttft_s && itl() <= slo.itl_s;
+  }
+};
+
+/// Goodput summary of one run under a fixed SLO pair.
+struct SloSummary {
+  long long submitted = 0;
+  long long completed = 0;
+  long long attained = 0;       ///< completed within both SLOs
+  double attainment = 0.0;      ///< attained / submitted
+  double goodput_qps = 0.0;     ///< attained requests / makespan
+  double goodput_tok_s = 0.0;   ///< generated tokens of attained / makespan
+};
+
+SloSummary summarize_slo(const std::vector<RequestRecord>& records,
+                         const SloConfig& slo, double makespan_s);
+
+/// One point on the SLO capacity curve.
+struct CapacityPoint {
+  double qps = 0.0;         ///< max offered load meeting the target
+  double attainment = 0.0;  ///< attainment measured at that load
+  int evaluations = 0;      ///< fleet runs the search spent
+};
+
+/// Bisect the max Poisson arrival rate whose SLO attainment stays >= target
+/// (the MoE-CAP capacity metric). `attainment_at_qps` runs the fleet at an
+/// offered load and returns attainment in [0, 1]; it is assumed
+/// non-increasing in load. Returns qps = 0 when even lo_qps misses target.
+CapacityPoint find_capacity_qps(
+    const std::function<double(double)>& attainment_at_qps, double lo_qps,
+    double hi_qps, double target = 0.99, int iterations = 10);
+
+}  // namespace mib::fleet

@@ -1,0 +1,53 @@
+#include "workload/arrivals.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mib::workload {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+void ArrivalConfig::validate() const {
+  MIB_ENSURE(rate_qps > 0.0, "arrival rate must be > 0 qps");
+  MIB_ENSURE(start_s >= 0.0, "negative trace start time");
+  if (process == Process::kDiurnal) {
+    MIB_ENSURE(diurnal_period_s > 0.0, "diurnal period must be > 0");
+    MIB_ENSURE(diurnal_amplitude >= 0.0 && diurnal_amplitude < 1.0,
+               "diurnal amplitude must be in [0, 1)");
+  }
+}
+
+std::vector<double> generate_arrivals(const ArrivalConfig& cfg, int n) {
+  cfg.validate();
+  MIB_ENSURE(n >= 1, "need at least one arrival");
+  Rng rng(cfg.seed);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  double t = cfg.start_s;
+  out.push_back(t);
+  for (int i = 1; i < n; ++i) {
+    double rate = cfg.rate_qps;
+    if (cfg.process == ArrivalConfig::Process::kDiurnal) {
+      rate *= 1.0 + cfg.diurnal_amplitude *
+                        std::sin(kTwoPi * t / cfg.diurnal_period_s);
+    }
+    t += -std::log(1.0 - rng.uniform()) / rate;
+    out.push_back(t);
+  }
+  return out;
+}
+
+void stamp_arrivals(const ArrivalConfig& cfg,
+                    std::vector<engine::Request>& trace) {
+  MIB_ENSURE(!trace.empty(), "cannot stamp an empty trace");
+  const auto times = generate_arrivals(cfg, static_cast<int>(trace.size()));
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].arrival_s = times[i];
+  }
+}
+
+}  // namespace mib::workload

@@ -71,11 +71,32 @@ TEST(Samples, SingleValue) {
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
-TEST(Samples, EmptyThrows) {
+TEST(Samples, EmptyIsZero) {
+  // Total on the empty set: a report over zero completed requests must
+  // render zeros, not throw.
   Samples s;
-  EXPECT_THROW(s.percentile(50), Error);
-  EXPECT_THROW(s.min(), Error);
-  EXPECT_THROW(s.max(), Error);
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 0.0);
+}
+
+TEST(Samples, ShorthandAccessors) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.p50(), s.percentile(50.0));
+  EXPECT_DOUBLE_EQ(s.p95(), s.percentile(95.0));
+  EXPECT_DOUBLE_EQ(s.p99(), s.percentile(99.0));
+  EXPECT_GT(s.p99(), s.p95());
+  EXPECT_GT(s.p95(), s.p50());
+}
+
+TEST(Histogram, RejectsNaN) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.add(std::nan("")), Error);
 }
 
 TEST(Samples, PercentileRangeChecked) {

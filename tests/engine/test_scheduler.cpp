@@ -148,6 +148,28 @@ TEST(Scheduler, ConfigValidation) {
   EXPECT_THROW(ServingSimulator(engine_cfg(), bad), Error);
 }
 
+TEST(Scheduler, HonorsExplicitArrivalStamps) {
+  // Requests carrying arrival_s stamps bypass the deprecated
+  // arrival_rate_qps Poisson shim entirely.
+  auto trace = uniform(16, 256, 32);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].arrival_s = 0.25 * static_cast<double>(i);
+  }
+  SchedulerConfig sc;
+  sc.arrival_rate_qps = 1000.0;  // must be ignored when stamps are present
+  ServingSimulator sim(engine_cfg(), sc);
+  const auto rep = sim.run(trace);
+  ASSERT_EQ(rep.requests.size(), 16u);
+  for (std::size_t i = 0; i < rep.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rep.requests[i].arrival_s,
+                     0.25 * static_cast<double>(i));
+    EXPECT_GT(rep.requests[i].first_token_s, rep.requests[i].arrival_s);
+  }
+  // The load is light, so service tracks the stamps: the last request
+  // cannot start before it arrives at t = 3.75.
+  EXPECT_GE(rep.makespan_s, 3.75);
+}
+
 TEST(Scheduler, WeightsTooBigRejected) {
   EngineConfig c;
   c.model = models::mixtral_8x7b();  // 93 GiB fp16 on one 80 GiB device

@@ -1,0 +1,113 @@
+#include "fleet/router.h"
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet.h"
+#include "hw/cluster.h"
+#include "models/zoo.h"
+#include "workload/arrivals.h"
+#include "workload/generator.h"
+
+namespace mib::fleet {
+namespace {
+
+FleetConfig base_cfg(int replicas, RoutePolicy policy) {
+  FleetConfig fc;
+  fc.engine.model = models::olmoe_1b_7b();
+  fc.engine.cluster = hw::Cluster::h100_node(1);
+  fc.n_replicas = replicas;
+  fc.policy = policy;
+  fc.seed = 9;
+  return fc;
+}
+
+std::vector<FleetRequest> conversation_trace() {
+  workload::ConversationConfig cc;
+  // Coprime with the 4-replica pool: round-robin cannot stay aligned with
+  // conversations across turn rounds, so any hits it gets are accidental.
+  cc.n_conversations = 9;
+  cc.turns_per_conversation = 4;
+  cc.system_prompt_tokens = 512;
+  cc.seed = 5;
+  auto trace = as_fleet_trace(workload::generate_conversations(cc));
+  workload::ArrivalConfig ac;
+  ac.rate_qps = 12.0;
+  ac.seed = 17;
+  stamp_arrivals(ac, trace);
+  return trace;
+}
+
+TEST(Router, PolicyNames) {
+  EXPECT_STREQ(route_policy_name(RoutePolicy::kRoundRobin), "round-robin");
+  EXPECT_STREQ(route_policy_name(RoutePolicy::kLeastOutstanding),
+               "least-outstanding");
+  EXPECT_STREQ(route_policy_name(RoutePolicy::kPrefixAffinity),
+               "prefix-affinity");
+}
+
+TEST(Router, AffinityBeatsRoundRobinOnPrefixHits) {
+  const auto trace = conversation_trace();
+  const auto rr = FleetSimulator(base_cfg(4, RoutePolicy::kRoundRobin))
+                      .run(trace);
+  const auto aff = FleetSimulator(base_cfg(4, RoutePolicy::kPrefixAffinity))
+                       .run(trace);
+  EXPECT_EQ(rr.completed, rr.submitted);
+  EXPECT_EQ(aff.completed, aff.submitted);
+  EXPECT_GT(aff.prefix_hit_rate(), rr.prefix_hit_rate());
+  // With affinity, every post-first turn should land on its warm replica.
+  EXPECT_GE(aff.prefix_hit_rate(), 0.5);
+}
+
+TEST(Router, AllPoliciesCompleteTheConversationWorkload) {
+  const auto trace = conversation_trace();
+  for (auto policy : {RoutePolicy::kRoundRobin, RoutePolicy::kLeastOutstanding,
+                      RoutePolicy::kPrefixAffinity}) {
+    const auto r = FleetSimulator(base_cfg(4, policy)).run(trace);
+    EXPECT_EQ(r.completed, r.submitted) << route_policy_name(policy);
+    EXPECT_EQ(r.lost, 0) << route_policy_name(policy);
+  }
+}
+
+TEST(Router, RoundRobinSpreadsWorkAcrossReplicas) {
+  auto cfg = base_cfg(4, RoutePolicy::kRoundRobin);
+  auto trace = as_fleet_trace(engine::make_uniform_batch(32, 128, 32));
+  workload::ArrivalConfig ac;
+  ac.rate_qps = 8.0;  // slow enough that each request sees an idle fleet
+  stamp_arrivals(ac, trace);
+  const auto r = FleetSimulator(cfg).run(trace);
+  for (const auto& rep : r.replicas) {
+    EXPECT_EQ(rep.completed, 8) << "replica " << rep.replica;
+  }
+}
+
+TEST(Router, LeastOutstandingAvoidsBusyReplica) {
+  // Two replicas, one pinned busy by a long prefill burst arriving first:
+  // the p2c router must steer later traffic toward the idle one more often
+  // than round-robin's strict alternation would.
+  const auto r =
+      FleetSimulator(base_cfg(2, RoutePolicy::kLeastOutstanding))
+          .run([] {
+            auto t = as_fleet_trace(engine::make_uniform_batch(48, 512, 64));
+            workload::ArrivalConfig ac;
+            ac.rate_qps = 300.0;
+            ac.seed = 23;
+            stamp_arrivals(ac, t);
+            return t;
+          }());
+  EXPECT_EQ(r.completed, 48);
+  EXPECT_GT(r.replicas[0].completed, 0);
+  EXPECT_GT(r.replicas[1].completed, 0);
+}
+
+TEST(Router, AffinityFallsBackWhenPinnedReplicaDown) {
+  auto cfg = base_cfg(2, RoutePolicy::kPrefixAffinity);
+  // Replica 0 dies mid-run; conversations pinned there must still complete
+  // (re-routed to replica 1), no request lost.
+  cfg.faults.push_back(FaultWindow{0, 0.2, 5.0});
+  const auto r = FleetSimulator(cfg).run(conversation_trace());
+  EXPECT_EQ(r.completed, r.submitted);
+  EXPECT_EQ(r.lost, 0);
+}
+
+}  // namespace
+}  // namespace mib::fleet

@@ -1,0 +1,107 @@
+#include "fleet/slo.h"
+
+#include <gtest/gtest.h>
+
+#include "fleet/autoscaler.h"
+
+namespace mib::fleet {
+namespace {
+
+RequestRecord completed_record(double arrival, double first, double finish,
+                               int out_tokens) {
+  RequestRecord r;
+  r.status = RequestStatus::kCompleted;
+  r.arrival_s = arrival;
+  r.first_token_s = first;
+  r.finish_s = finish;
+  r.output_tokens = out_tokens;
+  return r;
+}
+
+TEST(Slo, RequestRecordLatencies) {
+  const auto r = completed_record(1.0, 1.5, 2.5, 11);
+  EXPECT_DOUBLE_EQ(r.ttft(), 0.5);
+  EXPECT_DOUBLE_EQ(r.e2e(), 1.5);
+  EXPECT_DOUBLE_EQ(r.itl(), 0.1);  // (2.5 - 1.5) / 10
+  const auto single = completed_record(0.0, 0.2, 0.2, 1);
+  EXPECT_DOUBLE_EQ(single.itl(), 0.0);
+}
+
+TEST(Slo, MeetsIsStrictOnBothBounds) {
+  SloConfig slo;
+  slo.ttft_s = 1.0;
+  slo.itl_s = 0.05;
+  EXPECT_TRUE(completed_record(0.0, 0.5, 1.0, 11).meets(slo));
+  EXPECT_FALSE(completed_record(0.0, 1.5, 2.0, 11).meets(slo));  // TTFT miss
+  EXPECT_FALSE(completed_record(0.0, 0.5, 2.5, 11).meets(slo));  // ITL miss
+  RequestRecord rejected;
+  rejected.status = RequestStatus::kRejected;
+  EXPECT_FALSE(rejected.meets(slo));
+}
+
+TEST(Slo, SummaryCountsShedLoadAsMisses) {
+  SloConfig slo;
+  slo.ttft_s = 1.0;
+  slo.itl_s = 0.05;
+  std::vector<RequestRecord> recs;
+  recs.push_back(completed_record(0.0, 0.5, 1.0, 11));  // attained
+  recs.push_back(completed_record(0.0, 2.0, 3.0, 11));  // TTFT miss
+  RequestRecord rej;
+  rej.status = RequestStatus::kRejected;
+  recs.push_back(rej);
+  const auto s = summarize_slo(recs, slo, 10.0);
+  EXPECT_EQ(s.submitted, 3);
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.attained, 1);
+  EXPECT_NEAR(s.attainment, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.goodput_qps, 0.1, 1e-12);
+  EXPECT_NEAR(s.goodput_tok_s, 1.1, 1e-12);  // 11 tokens over 10 s
+}
+
+TEST(Slo, StatusNames) {
+  EXPECT_STREQ(to_string(RequestStatus::kCompleted), "completed");
+  EXPECT_STREQ(to_string(RequestStatus::kRejected), "rejected");
+  EXPECT_STREQ(to_string(RequestStatus::kExpired), "expired");
+  EXPECT_STREQ(to_string(RequestStatus::kLost), "lost");
+}
+
+TEST(CapacitySearch, BisectsAStepFunction) {
+  // Attainment is 1 below 37 QPS and 0 above: the search must land within
+  // the bisection tolerance of the knee, from below.
+  const auto at = [](double qps) { return qps <= 37.0 ? 1.0 : 0.0; };
+  const auto cap = find_capacity_qps(at, 1.0, 100.0, 0.99, 12);
+  EXPECT_LE(cap.qps, 37.0);
+  EXPECT_GT(cap.qps, 37.0 - (100.0 - 1.0) / 4096.0 - 1e-9);
+  EXPECT_DOUBLE_EQ(cap.attainment, 1.0);
+}
+
+TEST(CapacitySearch, SaturatedAndInfeasibleEdges) {
+  const auto always = find_capacity_qps([](double) { return 1.0; }, 1.0,
+                                        64.0, 0.99, 10);
+  EXPECT_DOUBLE_EQ(always.qps, 64.0);  // hi passes -> no bisection needed
+  EXPECT_EQ(always.evaluations, 1);
+  const auto never = find_capacity_qps([](double) { return 0.0; }, 1.0, 64.0,
+                                       0.99, 10);
+  EXPECT_DOUBLE_EQ(never.qps, 0.0);  // even lo misses the target
+}
+
+TEST(Autoscaler, DecisionLogic) {
+  AutoscalerConfig cfg;
+  cfg.enabled = true;
+  cfg.min_replicas = 1;
+  cfg.max_replicas = 4;
+  cfg.scale_up_queue_depth = 8;
+  cfg.scale_down_queue_depth = 0;
+  const Autoscaler as(cfg);
+  EXPECT_EQ(as.decide(20, 2, false), +1);
+  EXPECT_EQ(as.decide(20, 4, false), 0);  // at ceiling
+  EXPECT_EQ(as.decide(0, 2, true), -1);
+  EXPECT_EQ(as.decide(0, 1, true), 0);    // at floor
+  EXPECT_EQ(as.decide(0, 2, false), 0);   // nothing idle to drain
+  EXPECT_EQ(as.decide(5, 2, true), 0);    // between watermarks
+  cfg.enabled = false;
+  EXPECT_EQ(Autoscaler(cfg).decide(100, 1, true), 0);
+}
+
+}  // namespace
+}  // namespace mib::fleet

@@ -1,0 +1,82 @@
+#include "workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace mib::workload {
+namespace {
+
+TEST(Arrivals, PoissonIsNonDecreasingAndStartsAtStart) {
+  ArrivalConfig cfg;
+  cfg.rate_qps = 10.0;
+  cfg.start_s = 1.5;
+  const auto ts = generate_arrivals(cfg, 100);
+  ASSERT_EQ(ts.size(), 100u);
+  EXPECT_DOUBLE_EQ(ts.front(), 1.5);
+  for (std::size_t i = 1; i < ts.size(); ++i) EXPECT_GE(ts[i], ts[i - 1]);
+}
+
+TEST(Arrivals, DeterministicForFixedSeed) {
+  ArrivalConfig cfg;
+  cfg.rate_qps = 25.0;
+  cfg.seed = 7;
+  EXPECT_EQ(generate_arrivals(cfg, 64), generate_arrivals(cfg, 64));
+  cfg.seed = 8;
+  EXPECT_NE(generate_arrivals(cfg, 64), [&] {
+    ArrivalConfig c2 = cfg;
+    c2.seed = 7;
+    return generate_arrivals(c2, 64);
+  }());
+}
+
+TEST(Arrivals, MeanGapTracksRate) {
+  ArrivalConfig cfg;
+  cfg.rate_qps = 50.0;
+  cfg.seed = 3;
+  const int n = 4000;
+  const auto ts = generate_arrivals(cfg, n);
+  const double mean_gap = ts.back() / (n - 1);
+  EXPECT_NEAR(mean_gap, 1.0 / 50.0, 0.25 / 50.0);  // within 25%
+}
+
+TEST(Arrivals, DiurnalModulatesButStaysOrdered) {
+  ArrivalConfig cfg;
+  cfg.rate_qps = 20.0;
+  cfg.process = ArrivalConfig::Process::kDiurnal;
+  cfg.diurnal_period_s = 10.0;
+  cfg.diurnal_amplitude = 0.8;
+  const auto ts = generate_arrivals(cfg, 256);
+  for (std::size_t i = 1; i < ts.size(); ++i) EXPECT_GE(ts[i], ts[i - 1]);
+  // Modulation changes the sample path vs the homogeneous process.
+  ArrivalConfig flat = cfg;
+  flat.process = ArrivalConfig::Process::kPoisson;
+  EXPECT_NE(ts, generate_arrivals(flat, 256));
+}
+
+TEST(Arrivals, StampsTraceInOrder) {
+  TraceConfig tc;
+  tc.n_requests = 32;
+  auto trace = generate_trace(tc);
+  ArrivalConfig cfg;
+  cfg.rate_qps = 40.0;
+  stamp_arrivals(cfg, trace);
+  EXPECT_DOUBLE_EQ(trace.front().arrival_s, 0.0);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival_s, trace[i - 1].arrival_s);
+  }
+  for (const auto& r : trace) r.validate();
+}
+
+TEST(Arrivals, ConfigValidation) {
+  ArrivalConfig cfg;
+  cfg.rate_qps = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg.rate_qps = 1.0;
+  cfg.process = ArrivalConfig::Process::kDiurnal;
+  cfg.diurnal_amplitude = 1.5;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+}  // namespace
+}  // namespace mib::workload
