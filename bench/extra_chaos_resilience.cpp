@@ -1,0 +1,250 @@
+// Extension: partial-failure resilience. Four tables:
+//   (a) failure detection — the PR 1 fault-schedule oracle vs heartbeat +
+//       circuit-breaker detection: detection lag, requests stuck behind the
+//       lag, and what the p99 pays for realism;
+//   (b) hedged requests under a straggling (degraded, NOT dead) replica:
+//       the brownout is invisible to the failure detector, so hedging is
+//       the only mitigation — off vs fixed-delay vs adaptive-p95 trigger;
+//   (c) graceful drain — migrate in-flight KV to a peer vs
+//       evacuate-and-recompute, swept over context depth to expose the
+//       crossover (shallow contexts re-prefill cheaper than they ship,
+//       deep contexts are far cheaper to move);
+//   (d) deterministic chaos sweep — randomized fault/degradation/
+//       maintenance schedules across many seeds, reporting the invariant
+//       totals (conservation holds on every seed or the simulator throws).
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/report.h"
+#include "core/scenario.h"
+#include "fleet/fleet.h"
+#include "workload/arrivals.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace mib;
+
+fleet::FleetConfig base_config(int replicas) {
+  core::Scenario s;
+  s.model = "OLMoE-1B-7B";
+  fleet::FleetConfig fc;
+  fc.engine = s.engine_config();
+  fc.n_replicas = replicas;
+  fc.replica.max_batch = 32;
+  fc.slo.ttft_s = 2.0;
+  fc.slo.itl_s = 0.05;
+  fc.seed = 7;
+  return fc;
+}
+
+std::vector<fleet::FleetRequest> mixed_trace(int n, double qps,
+                                             std::uint64_t seed,
+                                             int in_lo = 64, int in_hi = 1024,
+                                             int out_lo = 32,
+                                             int out_hi = 256) {
+  workload::TraceConfig tc;
+  tc.n_requests = n;
+  tc.input = {in_lo, in_hi, 1.2};
+  tc.output = {out_lo, out_hi, 1.2};
+  tc.seed = seed;
+  auto trace = fleet::as_fleet_trace(workload::generate_trace(tc));
+  workload::ArrivalConfig ac;
+  ac.rate_qps = qps;
+  ac.seed = seed ^ 0xA221;
+  fleet::stamp_arrivals(ac, trace);
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  core::print_banner(std::cout, "extra_chaos");
+
+  // --- (a) oracle vs heartbeat detection on a mid-run replica failure ---
+  {
+    Table t("(a) Failure detection — replica 0 of 3 dies 1s-4s mid-run; "
+            "fault-schedule oracle vs phi-accrual heartbeats + breaker");
+    t.set_headers({"detector", "detect lag (s)", "circuit opens", "retries",
+                   "lost", "p50 TTFT (s)", "p99 TTFT (s)", "attainment"});
+    for (bool monitor : {false, true}) {
+      auto cfg = base_config(3);
+      cfg.health.enabled = monitor;
+      cfg.faults.push_back(fleet::FaultWindow{0, 1.0, 4.0});
+      cfg.retry.jitter = 1.0;
+      const auto r =
+          fleet::FleetSimulator(cfg).run(mixed_trace(256, 48.0, 11));
+      t.new_row()
+          .cell(monitor ? "heartbeat+breaker" : "oracle (PR 1)")
+          .cell(monitor ? r.detection_lag_s.p50() : 0.0, 3)
+          .cell(r.circuit_opens)
+          .cell(r.retries)
+          .cell(r.lost)
+          .cell(r.ttft_s.p50(), 2)
+          .cell(r.ttft_s.p99(), 2)
+          .cell(r.slo.attainment, 3);
+    }
+    t.print(std::cout);
+    core::maybe_export_csv(t, "extra_chaos_detection");
+  }
+
+  // --- (b) hedging vs a straggler the detector cannot see ---
+  {
+    Table t("(b) Hedged requests — replica 0 of 3 browns out to 8% "
+            "compute/bandwidth for 0.5s-10s (still heartbeating: no breaker "
+            "trips); straggling requests re-issued to a second replica");
+    t.set_headers({"hedge", "issued", "won", "cancelled", "p50 TTFT (s)",
+                   "p95 TTFT (s)", "p99 TTFT (s)", "attainment"});
+    struct Mode {
+      const char* name;
+      bool enabled;
+      double delay_s;  // 0 = adaptive p95
+    };
+    for (const Mode m : {Mode{"off", false, 0.0},
+                         Mode{"fixed 100ms", true, 0.1},
+                         Mode{"adaptive p95", true, 0.0}}) {
+      auto cfg = base_config(3);
+      cfg.degradations.push_back(
+          fleet::DegradationWindow{0, 0.5, 10.0, {0.08, 0.08, 0.08}});
+      cfg.hedge.enabled = m.enabled;
+      cfg.hedge.delay_s = m.delay_s;
+      const auto r = fleet::FleetSimulator(cfg).run(
+          mixed_trace(256, 40.0, 13, 256, 2048, 64, 128));
+      t.new_row()
+          .cell(m.name)
+          .cell(r.hedges_issued)
+          .cell(r.hedges_won)
+          .cell(r.hedges_cancelled)
+          .cell(r.ttft_s.p50(), 2)
+          .cell(r.ttft_s.p95(), 2)
+          .cell(r.ttft_s.p99(), 2)
+          .cell(r.slo.attainment, 3);
+    }
+    t.print(std::cout);
+    core::maybe_export_csv(t, "extra_chaos_hedging");
+  }
+
+  // --- (c) drain: migrate KV vs evacuate-and-recompute, by context depth ---
+  {
+    Table t("(c) Graceful drain — replica 0 of 2 enters maintenance at "
+            "t=2s; in-flight KV migrated over IB NDR400 vs recomputed; "
+            "sweep over prompt depth");
+    t.set_headers({"prompt tokens", "mode", "moved seqs", "KV tokens moved",
+                   "mean xfer (s)", "p95 e2e (s)", "makespan (s)"});
+    for (int depth : {128, 512, 2048, 8192}) {
+      for (bool migrate : {false, true}) {
+        auto cfg = base_config(2);
+        cfg.maintenance.push_back(fleet::MaintenanceWindow{0, 2.0, 6.0});
+        cfg.migration.migrate_kv = migrate;
+        // Long decodes keep KV resident when the drain hits.
+        const auto trace =
+            mixed_trace(96, 24.0, 17, depth, depth + 1, 192, 320);
+        const auto r = fleet::FleetSimulator(cfg).run(trace);
+        t.new_row()
+            .cell(depth)
+            .cell(migrate ? "migrate" : "recompute")
+            .cell(migrate ? r.migrations : r.drain_evacuations)
+            .cell(r.migrated_kv_tokens)
+            .cell(r.migration_s.mean(), 4)
+            .cell(r.e2e_s.p95(), 2)
+            .cell(r.makespan_s, 2);
+      }
+    }
+    t.print(std::cout);
+    core::maybe_export_csv(t, "extra_chaos_drain");
+  }
+
+  // --- (d) chaos sweep: invariants across randomized schedules ---
+  {
+    const int kSeeds = 50;
+    long long completed = 0, rejected = 0, expired = 0, lost = 0;
+    long long retries = 0, opens = 0, false_opens = 0, hedges = 0,
+              migrations = 0;
+    long long submitted = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      Rng rng(seed);
+      auto cfg = base_config(3);
+      cfg.seed = seed;
+      cfg.replica.max_batch = 8;
+      cfg.admission.queue_capacity = 16;
+      if (rng.bernoulli(0.4)) cfg.admission.deadline_s = rng.uniform(0.3, 1.0);
+      cfg.retry.max_retries = static_cast<int>(rng.uniform_index(4));
+      cfg.retry.jitter = rng.uniform(0.0, 1.0);
+      cfg.hedge.enabled = rng.bernoulli(0.5);
+      cfg.hedge.delay_s = rng.bernoulli(0.5) ? rng.uniform(0.05, 0.2) : 0.0;
+      cfg.migration.migrate_kv = rng.bernoulli(0.5);
+      for (int i = 0; i < 3; ++i) {
+        double tw = rng.uniform(0.0, 1.0);
+        if (rng.bernoulli(0.6)) {
+          const double d = rng.uniform(0.05, 0.5);
+          cfg.faults.push_back(fleet::FaultWindow{i, tw, tw + d});
+          tw += d + rng.uniform(0.2, 0.5);
+        }
+        if (rng.bernoulli(0.5)) {
+          cfg.degradations.push_back(fleet::DegradationWindow{
+              i, tw, tw + rng.uniform(0.1, 0.6),
+              {rng.uniform(0.3, 1.0), rng.uniform(0.3, 1.0),
+               rng.uniform(0.3, 1.0)}});
+        }
+        if (rng.bernoulli(0.3)) {
+          const double m = rng.uniform(0.3, 1.0);
+          cfg.maintenance.push_back(
+              fleet::MaintenanceWindow{i, m, m + rng.uniform(0.2, 0.5)});
+        }
+      }
+      const auto r = fleet::FleetSimulator(cfg).run(
+          mixed_trace(32 + static_cast<int>(rng.uniform_index(33)),
+                      rng.uniform(80.0, 240.0), seed ^ 0xC4A05ull, 64, 512,
+                      24, 96));
+      submitted += r.submitted;
+      completed += r.completed;
+      rejected += r.rejected;
+      expired += r.expired;
+      lost += r.lost;
+      retries += r.retries;
+      opens += r.circuit_opens;
+      false_opens += r.false_circuit_opens;
+      hedges += r.hedges_issued;
+      migrations += r.migrations;
+    }
+    Table t("(d) Chaos sweep — " + std::to_string(kSeeds) +
+            " randomized fault/degradation/maintenance schedules; request "
+            "conservation checked on every seed");
+    t.set_headers({"submitted", "completed", "rejected", "expired", "lost",
+                   "retries", "circuit opens", "false opens", "hedges",
+                   "migrations"});
+    t.new_row()
+        .cell(submitted)
+        .cell(completed)
+        .cell(rejected)
+        .cell(expired)
+        .cell(lost)
+        .cell(retries)
+        .cell(opens)
+        .cell(false_opens)
+        .cell(hedges)
+        .cell(migrations);
+    t.print(std::cout);
+    core::maybe_export_csv(t, "extra_chaos_sweep");
+    std::cout << "  conservation: completed+rejected+expired+lost == "
+                 "submitted held on all "
+              << kSeeds << " seeds\n";
+  }
+
+  std::cout
+      << "\nReading: (a) realistic detection pays a measurable lag and a "
+         "dented tail vs the oracle, which is exactly the cost PR 1 could "
+         "not see; (b) a browned-out replica never trips the breaker, so "
+         "only hedging rescues the p99 — the adaptive trigger issues few "
+         "hedges yet collapses the tail; (c) migrating KV beats recompute "
+         "at every depth with decode progress at stake — serial decode is "
+         "far slower to redo than KV is to ship over NDR400 — and the "
+         "margin grows with resident KV (the crossover sits below the "
+         "shallowest contexts here; recompute only competes for sequences "
+         "with no decode progress); (d) the chaos sweep holds the "
+         "conservation and leak invariants on every seed.\n";
+  return 0;
+}

@@ -86,6 +86,11 @@ const std::vector<ExperimentInfo>& experiments() {
        "OLMoE-1B-7B H100 replicas; Poisson traffic, TTFT/ITL SLOs, "
        "replica-failure window",
        "extra_fleet_capacity"},
+      {"extra_chaos", "Partial-failure resilience: detection lag, hedging, "
+       "KV drain-migration, chaos sweep (extension)",
+       "OLMoE-1B-7B H100 replicas; heartbeat detection vs oracle, "
+       "straggler hedging, migrate-vs-recompute crossover, 50-seed chaos",
+       "extra_chaos_resilience"},
       {"trace_profile", "Simulated per-op profiler timeline",
        "Mixtral-8x7B TP4, one decode step + one prefill", "trace_profile"},
       {"moe_cpu_kernels", "Functional MoE layer wall-clock (fused vs staged)",

@@ -1,0 +1,64 @@
+#include "fleet/degradation.h"
+
+#include <limits>
+
+namespace mib::fleet {
+
+DegradationSchedule::DegradationSchedule(std::vector<DegradationWindow> windows)
+    : windows_(std::move(windows)) {
+  for (const auto& w : windows_) w.validate();
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    for (std::size_t j = i + 1; j < windows_.size(); ++j) {
+      const auto& a = windows_[i];
+      const auto& b = windows_[j];
+      if (a.replica != b.replica) continue;
+      MIB_ENSURE(a.end_s <= b.start_s || b.end_s <= a.start_s,
+                 "overlapping degradation windows for replica " << a.replica);
+    }
+  }
+}
+
+PerfScale DegradationSchedule::at(int replica, double t) const {
+  for (const auto& w : windows_) {
+    if (w.replica == replica && t >= w.start_s && t < w.end_s) return w.scale;
+  }
+  return PerfScale{};
+}
+
+double DegradationSchedule::next_transition_after(double t) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& w : windows_) {
+    if (w.start_s > t) best = std::min(best, w.start_s);
+    if (w.end_s > t) best = std::min(best, w.end_s);
+  }
+  return best;
+}
+
+DegradedCostPool::DegradedCostPool(
+    const engine::LayerCostModel* base, const engine::EngineConfig& cfg,
+    const std::vector<DegradationWindow>& windows)
+    : base_(base) {
+  MIB_ENSURE(base_ != nullptr, "degraded cost pool needs a base model");
+  for (const auto& w : windows) {
+    if (!w.scale.degraded()) continue;
+    if (at(w.scale) != base_) continue;  // already built
+    const auto& cl = cfg.cluster;
+    hw::Cluster derated(cl.device().derate(w.scale.flops, w.scale.mem_bw),
+                        cl.size(), cl.devices_per_node(),
+                        cl.intra().link().derate(w.scale.link_bw),
+                        cl.inter().link().derate(w.scale.link_bw));
+    models_.emplace_back(w.scale, std::make_unique<engine::LayerCostModel>(
+                                      cfg.model, derated, cfg.plan, cfg.cost));
+  }
+}
+
+const engine::LayerCostModel* DegradedCostPool::at(
+    const PerfScale& scale) const {
+  if (!scale.degraded()) return base_;
+  for (const auto& [key, model] : models_) {
+    if (key == scale) return model.get();
+  }
+  return base_;
+}
+
+}  // namespace mib::fleet

@@ -3,11 +3,28 @@
 #include <cmath>
 #include <limits>
 
+#include "common/rng.h"
+
 namespace mib::fleet {
+
+void ensure_disjoint_windows(const std::vector<FaultWindow>& windows) {
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    for (std::size_t j = i + 1; j < windows.size(); ++j) {
+      const auto& a = windows[i];
+      const auto& b = windows[j];
+      if (a.replica != b.replica) continue;
+      MIB_ENSURE(a.end_s <= b.start_s || b.end_s <= a.start_s,
+                 "overlapping fault windows for replica "
+                     << a.replica << ": [" << a.start_s << ", " << a.end_s
+                     << ") and [" << b.start_s << ", " << b.end_s << ")");
+    }
+  }
+}
 
 FaultSchedule::FaultSchedule(std::vector<FaultWindow> windows)
     : windows_(std::move(windows)) {
   for (const auto& w : windows_) w.validate();
+  ensure_disjoint_windows(windows_);
 }
 
 bool FaultSchedule::up(int replica, double t) const {
@@ -26,9 +43,16 @@ double FaultSchedule::next_transition_after(double t) const {
   return best;
 }
 
-double RetryPolicy::delay(int attempt) const {
+double RetryPolicy::delay(int attempt, std::uint64_t jitter_key) const {
   MIB_ENSURE(attempt >= 1, "retry attempts are 1-based");
-  return backoff_s * std::pow(multiplier, attempt - 1);
+  const double base = backoff_s * std::pow(multiplier, attempt - 1);
+  if (jitter <= 0.0) return base;
+  // Stateless uniform draw in [0, 1) from the key: one splitmix64 step,
+  // the same construction the conversation hash uses.
+  std::uint64_t state = jitter_key + 0x9E3779B97F4A7C15ull;
+  const double u =
+      static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  return base * (1.0 - jitter * u);
 }
 
 }  // namespace mib::fleet

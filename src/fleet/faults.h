@@ -9,6 +9,7 @@
 // still accounts for them).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/error.h"
@@ -27,6 +28,12 @@ struct FaultWindow {
     MIB_ENSURE(end_s > start_s, "fault window must have positive duration");
   }
 };
+
+/// Throws when two windows for the same replica overlap or duplicate each
+/// other (such schedules double-count up/down transitions and make the
+/// evacuation accounting ambiguous). Shared by fault, degradation and
+/// maintenance validation.
+void ensure_disjoint_windows(const std::vector<FaultWindow>& windows);
 
 /// Immutable outage schedule with point-in-time and next-transition queries.
 class FaultSchedule {
@@ -50,15 +57,25 @@ struct RetryPolicy {
   double backoff_s = 0.05;   ///< delay before the first re-route
   double multiplier = 2.0;   ///< backoff growth per subsequent retry
   int max_retries = 8;       ///< beyond this the request is reported lost
+  /// Jitter fraction in [0, 1]: the delay is drawn uniformly from
+  /// [(1 - jitter) * d, d] where d is the exponential backoff. 0 keeps
+  /// the deterministic schedule; 1 is AWS-style full jitter. Without it a
+  /// mass evacuation retries in a synchronized thundering herd that lands
+  /// on the survivors as one burst.
+  double jitter = 0.0;
 
   void validate() const {
     MIB_ENSURE(backoff_s > 0.0, "retry backoff must be > 0");
     MIB_ENSURE(multiplier >= 1.0, "retry multiplier must be >= 1");
     MIB_ENSURE(max_retries >= 0, "negative retry budget");
+    MIB_ENSURE(jitter >= 0.0 && jitter <= 1.0,
+               "retry jitter must lie in [0, 1]");
   }
 
-  /// Delay applied before retry number `attempt` (1-based).
-  double delay(int attempt) const;
+  /// Delay applied before retry number `attempt` (1-based). `jitter_key`
+  /// seeds the stateless jitter draw (hash of run seed, request id and
+  /// attempt) so runs stay reproducible; it is ignored when jitter == 0.
+  double delay(int attempt, std::uint64_t jitter_key = 0) const;
 };
 
 }  // namespace mib::fleet

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <queue>
 #include <tuple>
+#include <utility>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -12,6 +14,12 @@ namespace mib::fleet {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Stateless hash combine for the retry-jitter key.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
+  return splitmix64(state);
+}
 }  // namespace
 
 std::vector<FleetRequest> as_fleet_trace(
@@ -65,6 +73,30 @@ void FleetConfig::validate() const {
   admission.validate();
   retry.validate();
   for (const auto& w : faults) w.validate();
+  ensure_disjoint_windows(faults);
+  for (const auto& w : degradations) w.validate();
+  for (std::size_t i = 0; i < degradations.size(); ++i) {
+    for (std::size_t j = i + 1; j < degradations.size(); ++j) {
+      const auto& a = degradations[i];
+      const auto& b = degradations[j];
+      if (a.replica != b.replica) continue;
+      MIB_ENSURE(a.end_s <= b.start_s || b.end_s <= a.start_s,
+                 "overlapping degradation windows for replica " << a.replica);
+    }
+  }
+  for (const auto& w : maintenance) w.validate();
+  for (std::size_t i = 0; i < maintenance.size(); ++i) {
+    for (std::size_t j = i + 1; j < maintenance.size(); ++j) {
+      const auto& a = maintenance[i];
+      const auto& b = maintenance[j];
+      if (a.replica != b.replica) continue;
+      MIB_ENSURE(a.end_s <= b.start_s || b.end_s <= a.start_s,
+                 "overlapping maintenance windows for replica " << a.replica);
+    }
+  }
+  migration.validate();
+  if (health.enabled) health.validate();
+  if (hedge.enabled) hedge.validate();
   if (autoscaler.enabled) {
     autoscaler.validate();
     MIB_ENSURE(n_replicas >= autoscaler.min_replicas &&
@@ -80,6 +112,16 @@ void FleetConfig::validate() const {
                "fault window names replica " << w.replica
                                              << " outside the pool of "
                                              << pool);
+  }
+  for (const auto& w : degradations) {
+    MIB_ENSURE(w.replica < pool, "degradation window names replica "
+                                     << w.replica << " outside the pool of "
+                                     << pool);
+  }
+  for (const auto& w : maintenance) {
+    MIB_ENSURE(w.replica < pool, "maintenance window names replica "
+                                     << w.replica << " outside the pool of "
+                                     << pool);
   }
 }
 
@@ -98,6 +140,8 @@ FleetSimulator::FleetSimulator(FleetConfig cfg)
   kv_capacity_tokens_ =
       static_cast<long long>(budget / mem_.kv_bytes_per_token_per_device());
   MIB_ENSURE(kv_capacity_tokens_ >= 1, "KV capacity below one token");
+  degraded_costs_ = std::make_unique<DegradedCostPool>(&cost_, cfg_.engine,
+                                                       cfg_.degradations);
 }
 
 int FleetSimulator::pool_size() const {
@@ -132,6 +176,11 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
                "request " << i << " exceeds replica KV capacity even alone");
     intake.push_back(s);
   }
+  // Pristine copy per request id (hedge copies restart from here).
+  std::vector<Sequence> blank(n);
+  for (const auto& s : intake) {
+    blank[static_cast<std::size_t>(s.request_id)] = s;
+  }
   std::stable_sort(intake.begin(), intake.end(),
                    [](const Sequence& a, const Sequence& b) {
                      return a.arrival_s < b.arrival_s;
@@ -139,6 +188,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
 
   // --- fleet state ---
   const int pool = pool_size();
+  const bool oracle = !cfg_.health.enabled;
   std::vector<Replica> reps;
   reps.reserve(static_cast<std::size_t>(pool));
   for (int i = 0; i < pool; ++i) {
@@ -147,12 +197,20 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   std::vector<bool> active(static_cast<std::size_t>(pool), false);
   std::vector<bool> draining(static_cast<std::size_t>(pool), false);
   std::vector<bool> was_up(static_cast<std::size_t>(pool), true);
+  std::vector<bool> in_maint(static_cast<std::size_t>(pool), false);
   for (int i = 0; i < cfg_.n_replicas; ++i) active[static_cast<std::size_t>(i)] = true;
 
   const FaultSchedule faults(cfg_.faults);
+  const DegradationSchedule degr(cfg_.degradations);
   Router router(cfg_.policy, cfg_.seed ^ 0xF1EE7ull);
   AdmissionController admission(cfg_.admission);
   const Autoscaler scaler(cfg_.autoscaler);
+  HealthMonitor monitor(cfg_.health, pool);
+  HedgePlanner hedge(cfg_.hedge);
+  const hw::Interconnect migration_link(cfg_.migration.link);
+  const double kv_bytes_per_token =
+      mem_.kv_bytes_per_token_per_device() *
+      static_cast<double>(cfg_.engine.cluster.size());
 
   FleetReport rep;
   rep.submitted = static_cast<long long>(n);
@@ -167,6 +225,45 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     Sequence seq;
   };
   std::vector<PendingRetry> retries;
+  struct PendingMigration {
+    double ready_s = 0.0;
+    Sequence seq;
+  };
+  std::vector<PendingMigration> migrations;
+  /// Work that was on a replica when it died, held until the front-end
+  /// *learns* of the failure (circuit opens or the restart is observed).
+  std::vector<std::vector<Sequence>> stranded(static_cast<std::size_t>(pool));
+  /// Unplanned-failure start times awaiting detection (lag metric).
+  std::vector<double> fault_started_at(static_cast<std::size_t>(pool), -1.0);
+
+  // Per-request resolution and copy accounting. `copies[id]` counts live
+  // copies of a request anywhere in the system (replica queues, retry
+  // holds, stranded lists, migrations); hedging is the only way it
+  // exceeds 1.
+  std::vector<char> done(n, 0);
+  std::vector<int> copies(n, 0);
+  struct HedgeTimer {
+    double at = 0.0;
+    int id = -1;
+    bool operator<(const HedgeTimer& o) const { return at > o.at; }  // min-heap
+  };
+  std::priority_queue<HedgeTimer> hedge_timers;
+  std::vector<char> hedge_fired(n, 0);
+
+  // Heartbeats and degradation state.
+  std::vector<double> next_hb(static_cast<std::size_t>(pool), kInf);
+  std::vector<PerfScale> cur_scale(static_cast<std::size_t>(pool));
+  auto hb_period = [&](int i, double t) {
+    // A degraded replica services its control plane late in proportion to
+    // its worst-hit resource.
+    return cfg_.health.heartbeat_interval_s / degr.at(i, t).worst();
+  };
+  if (!oracle) {
+    for (int i = 0; i < cfg_.n_replicas; ++i) {
+      monitor.resume(i, 0.0);
+      next_hb[static_cast<std::size_t>(i)] = hb_period(i, 0.0);
+    }
+  }
 
   std::size_t next_arrival = 0;
   std::size_t resolved = 0;
@@ -174,24 +271,31 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   double next_tick = cfg_.autoscaler.enabled ? cfg_.autoscaler.interval_s : kInf;
 
   // Runaway guard, scaled like the single-replica simulator plus the retry
-  // budget (every retry can redo a request's full work).
+  // budget (every retry can redo a request's full work), hedging (a second
+  // copy per request) and maintenance (evacuate-and-recompute redoes work
+  // once per window).
   long long max_steps = 0;
   for (const auto& s : intake) {
     max_steps += s.input_tokens + s.output_tokens + 4;
   }
   max_steps = std::max<long long>(max_steps, 1024) * 4 *
-              (1 + cfg_.retry.max_retries);
+              (1 + cfg_.retry.max_retries) * (cfg_.hedge.enabled ? 2 : 1) *
+              (1 + static_cast<long long>(cfg_.maintenance.size()));
 
   auto total_steps = [&] {
     long long t = 0;
     for (const auto& r : reps) t += r.steps();
     return t;
   };
+  auto physically_up = [&](int i, double t) { return faults.up(i, t); };
   auto routable_at = [&](double t) {
     std::vector<int> up;
     for (int i = 0; i < pool; ++i) {
       const auto u = static_cast<std::size_t>(i);
-      if (active[u] && !draining[u] && faults.up(i, t)) up.push_back(i);
+      if (!active[u] || draining[u] || in_maint[u]) continue;
+      // The front-end's knowledge: the breaker state when detection is
+      // on, the fault schedule itself in legacy oracle mode.
+      if (oracle ? faults.up(i, t) : monitor.routable(i)) up.push_back(i);
     }
     return up;
   };
@@ -200,8 +304,25 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     for (const auto& r : reps) q += r.queue_depth();
     return q;
   };
+  auto maint_transition_after = [&](double t) {
+    double best = kInf;
+    for (const auto& w : cfg_.maintenance) {
+      if (w.start_s > t) best = std::min(best, w.start_s);
+      if (w.end_s > t) best = std::min(best, w.end_s);
+    }
+    return best;
+  };
+  auto in_maint_window = [&](int i, double t) {
+    for (const auto& w : cfg_.maintenance) {
+      if (w.replica == i && t >= w.start_s && t < w.end_s) return true;
+    }
+    return false;
+  };
   auto record_terminal = [&](const Sequence& s, RequestStatus status) {
-    auto& rec = rep.requests[static_cast<std::size_t>(s.request_id)];
+    const auto u = static_cast<std::size_t>(s.request_id);
+    MIB_ENSURE(!done[u], "request " << s.request_id << " resolved twice");
+    done[u] = 1;
+    auto& rec = rep.requests[u];
     rec.status = status;
     rec.arrival_s = s.arrival_s;
     rec.input_tokens = s.input_tokens;
@@ -213,26 +334,122 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   auto dispatch = [&](Sequence seq, double t) {
     const auto up = routable_at(t);
     if (up.empty()) {
-      // Whole fleet dark: park until the next fault transition revives
-      // someone (validated finite — fault windows always end).
-      const double wake = faults.next_transition_after(t);
+      // Whole fleet dark as far as the front-end knows: park until
+      // something can change that — a fault transition (oracle mode or a
+      // restart), a breaker deadline, a maintenance edge, or the next
+      // autoscaler tick.
+      double wake = faults.next_transition_after(t);
+      wake = std::min(wake, maint_transition_after(t));
+      if (!oracle) wake = std::min(wake, monitor.next_event_after(t));
+      if (cfg_.autoscaler.enabled) {
+        wake = std::min(wake, next_tick > t
+                                  ? next_tick
+                                  : next_tick + cfg_.autoscaler.interval_s);
+      }
       MIB_ENSURE(std::isfinite(wake),
                  "no replica in service and none scheduled to recover");
+      MIB_ENSURE(wake > t, "fleet parked without a future wake event");
       retries.push_back(PendingRetry{wake, seq});
       return;
     }
     const int idx = router.route(seq, reps, up);
+    MIB_ENSURE(oracle || monitor.routable(idx),
+               "dispatch to a replica with an open circuit");
     reps[static_cast<std::size_t>(idx)].enqueue(seq);
+  };
+  // A copy of `id` resolved; remove every other live copy (hedge losers,
+  // parked retries, stranded or migrating duplicates) and free their KV.
+  // The winner's own replica is scanned too: a retried original and its
+  // hedge can land on the same replica, and the winning copy is already
+  // out of the running set by the time this runs.
+  auto cancel_other_copies = [&](int id) {
+    const auto u = static_cast<std::size_t>(id);
+    if (copies[u] <= 1) return;
+    for (int r = 0; r < pool; ++r) {
+      while (copies[u] > 1 && reps[static_cast<std::size_t>(r)].cancel(id)) {
+        --copies[u];
+        ++rep.hedges_cancelled;
+      }
+    }
+    auto drop_from = [&](auto& list) {
+      for (auto it = list.begin(); it != list.end();) {
+        if (it->seq.request_id == id) {
+          it = list.erase(it);
+          --copies[u];
+          ++rep.hedges_cancelled;
+        } else {
+          ++it;
+        }
+      }
+    };
+    drop_from(retries);
+    drop_from(migrations);
+    for (auto& list : stranded) {
+      for (auto it = list.begin(); it != list.end();) {
+        if (it->request_id == id) {
+          it = list.erase(it);
+          --copies[u];
+          ++rep.hedges_cancelled;
+        } else {
+          ++it;
+        }
+      }
+    }
+  };
+  // Route work off a dead replica: everything still on it plus everything
+  // stranded there since the crash goes through the retry path (with
+  // jittered backoff and a budget), duplicates of hedged requests are
+  // simply dropped.
+  auto release_failed = [&](int i, double t) {
+    const auto u = static_cast<std::size_t>(i);
+    auto work = reps[u].evacuate();
+    for (auto& s : stranded[u]) work.push_back(s);
+    stranded[u].clear();
+    for (auto& s : work) {
+      const auto id = static_cast<std::size_t>(s.request_id);
+      if (done[id] || copies[id] > 1) {
+        --copies[id];  // another copy carries the request (or it's over)
+        continue;
+      }
+      if (s.retries >= cfg_.retry.max_retries) {
+        record_terminal(s, RequestStatus::kLost);
+        --copies[id];
+        ++rep.lost;
+        continue;
+      }
+      ++s.retries;
+      ++rep.retries;
+      const std::uint64_t key =
+          mix(cfg_.seed, mix(static_cast<std::uint64_t>(s.request_id),
+                             static_cast<std::uint64_t>(s.retries)));
+      retries.push_back(
+          PendingRetry{t + cfg_.retry.delay(s.retries, key), s});
+    }
+  };
+  // Learn of a failure (detection or observed restart): lag metric.
+  auto mark_detected = [&](int i, double t) {
+    const auto u = static_cast<std::size_t>(i);
+    if (fault_started_at[u] >= 0.0) {
+      rep.detection_lag_s.add(t - fault_started_at[u]);
+      fault_started_at[u] = -1.0;
+    }
   };
 
   while (resolved < n) {
     // --- 1. kick every in-service replica that is idle but has work ---
     for (int i = 0; i < pool; ++i) {
       const auto u = static_cast<std::size_t>(i);
-      if (!active[u] || !faults.up(i, now)) continue;
+      if (!active[u] || in_maint[u] || !faults.up(i, now)) continue;
       Replica& r = reps[u];
       if (r.mid_step()) continue;
       for (auto& s : r.drop_expired(now)) {
+        const auto id = static_cast<std::size_t>(s.request_id);
+        MIB_ENSURE(!done[id], "expired copy of a resolved request");
+        if (copies[id] > 1) {
+          --copies[id];  // the other copy still carries the request
+          continue;
+        }
+        --copies[id];
         admission.count_expired();
         record_terminal(s, RequestStatus::kExpired);
         ++rep.expired;
@@ -245,6 +462,10 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       if (draining[u] && !reps[u].mid_step() && !reps[u].has_work()) {
         draining[u] = false;
         active[u] = false;
+        if (!oracle) {
+          monitor.suspend(i);
+          next_hb[u] = kInf;
+        }
       }
     }
     if (resolved >= n) break;
@@ -258,44 +479,176 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       if (r.mid_step()) t_next = std::min(t_next, r.step_end_s());
     }
     for (const auto& p : retries) t_next = std::min(t_next, p.ready_s);
+    for (const auto& p : migrations) t_next = std::min(t_next, p.ready_s);
     t_next = std::min(t_next, faults.next_transition_after(now));
+    t_next = std::min(t_next, degr.next_transition_after(now));
+    t_next = std::min(t_next, maint_transition_after(now));
+    if (!oracle) {
+      for (int i = 0; i < pool; ++i) {
+        t_next = std::min(t_next, next_hb[static_cast<std::size_t>(i)]);
+      }
+      t_next = std::min(t_next, monitor.next_event_after(now));
+    }
+    if (!hedge_timers.empty()) {
+      t_next = std::min(t_next, hedge_timers.top().at);
+    }
     if (cfg_.autoscaler.enabled) t_next = std::min(t_next, next_tick);
     MIB_ENSURE(std::isfinite(t_next), "fleet event loop stalled");
+    MIB_ENSURE(t_next >= now - 1e-12, "fleet simulation time went backwards");
     now = std::max(now, t_next);
 
-    // --- 3a. fault transitions: evacuate newly-down replicas ---
+    // --- 3a. heartbeats emitted up to now (monitor mode) ---
+    if (!oracle) {
+      for (int i = 0; i < pool; ++i) {
+        const auto u = static_cast<std::size_t>(i);
+        while (next_hb[u] <= now) {
+          const double emit = next_hb[u];
+          if (active[u] && !in_maint[u] && faults.up(i, emit)) {
+            monitor.on_heartbeat(i, emit);
+          }
+          next_hb[u] = emit + hb_period(i, emit);
+        }
+      }
+    }
+
+    // --- 3b. degradation transitions: reprice affected replicas ---
+    for (int i = 0; i < pool; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      const PerfScale scale = degr.at(i, now);
+      if (!(scale == cur_scale[u])) {
+        cur_scale[u] = scale;
+        reps[u].set_cost_model(degraded_costs_->at(scale));
+      }
+    }
+
+    // --- 3c. maintenance transitions: drain (migrate or recompute) ---
+    for (int i = 0; i < pool; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      const bool maint_now = in_maint_window(i, now);
+      if (maint_now && !in_maint[u]) {
+        in_maint[u] = true;
+        if (!oracle) {
+          monitor.suspend(i);
+          next_hb[u] = kInf;
+        }
+        if (active[u]) {
+          double cursor = now;  // transfers serialize on the source NIC
+          for (auto& s : reps[u].take_all()) {
+            const auto id = static_cast<std::size_t>(s.request_id);
+            MIB_ENSURE(!done[id], "drained copy of a resolved request");
+            if (cfg_.migration.migrate_kv && s.kv_tokens() > 0) {
+              const double xfer =
+                  cfg_.migration.per_sequence_overhead_s +
+                  migration_link.p2p(static_cast<double>(s.kv_tokens()) *
+                                     kv_bytes_per_token);
+              cursor += xfer;
+              ++rep.migrations;
+              rep.migrated_kv_tokens += s.kv_tokens();
+              rep.migration_s.add(cursor - now);
+              rep.requests[id].migrated = true;
+              migrations.push_back(PendingMigration{cursor, s});
+            } else {
+              // Nothing resident to move (still queued), or recompute
+              // mode: progress is lost, re-dispatch right away — planned
+              // drains are front-end initiated, so no backoff and no
+              // retry-budget charge.
+              if (s.kv_tokens() > 0) ++rep.drain_evacuations;
+              s.prefilled = 0;
+              s.generated = 0;
+              s.first_token_s = -1.0;
+              s.prefix_hit = false;
+              retries.push_back(PendingRetry{now, s});
+            }
+          }
+        }
+      } else if (!maint_now && in_maint[u]) {
+        in_maint[u] = false;
+        if (!oracle && active[u]) {
+          monitor.resume(i, now);
+          next_hb[u] = now + hb_period(i, now);
+        }
+      }
+    }
+
+    // --- 3d. fault transitions ---
     for (int i = 0; i < pool; ++i) {
       const auto u = static_cast<std::size_t>(i);
       const bool up_now = faults.up(i, now);
       if (was_up[u] && !up_now && active[u]) {
-        for (auto& s : reps[u].evacuate()) {
-          if (s.retries >= cfg_.retry.max_retries) {
-            record_terminal(s, RequestStatus::kLost);
-            ++rep.lost;
-            continue;
+        if (oracle) {
+          // Legacy: the front-end knows instantly, work retries at once.
+          stranded[u] = reps[u].evacuate();
+          release_failed(i, now);
+        } else {
+          // Crash: progress is gone, but nobody knows yet. Work strands
+          // until the breaker opens or the restart is observed.
+          for (auto& s : reps[u].evacuate()) stranded[u].push_back(s);
+          if (monitor.state(i) == CircuitState::kClosed) {
+            fault_started_at[u] = now;
+          } else {
+            // The breaker was already open (e.g. a brownout false
+            // positive) — the front-end already routes around it.
+            release_failed(i, now);
           }
-          ++s.retries;
-          ++rep.retries;
-          retries.push_back(
-              PendingRetry{now + cfg_.retry.delay(s.retries), s});
         }
+      }
+      if (!was_up[u] && up_now && !oracle) {
+        // Restart observed: stale connections error out, anything still
+        // addressed to the old process retries now even if the breaker
+        // never opened (a blip shorter than detection).
+        mark_detected(i, now);
+        release_failed(i, now);
       }
       was_up[u] = up_now;
     }
 
-    // --- 3b. step completions ---
+    // --- 3e. failure detection: breaker transitions at `now` ---
+    if (!oracle) {
+      std::vector<bool> up_vec(static_cast<std::size_t>(pool));
+      for (int i = 0; i < pool; ++i) {
+        up_vec[static_cast<std::size_t>(i)] = physically_up(i, now);
+      }
+      for (int i : monitor.advance(now, up_vec)) {
+        const auto u = static_cast<std::size_t>(i);
+        ++rep.circuit_opens;
+        if (up_vec[u]) {
+          // Slow, not dead: stop routing to it, let its work finish.
+          ++rep.false_circuit_opens;
+        } else {
+          mark_detected(i, now);
+          release_failed(i, now);
+        }
+      }
+    }
+
+    // --- 3f. step completions (first finished copy wins) ---
     for (int i = 0; i < pool; ++i) {
       const auto u = static_cast<std::size_t>(i);
       Replica& r = reps[u];
       if (!r.mid_step() || r.step_end_s() > now) continue;
       const double finish = r.step_end_s();
       for (auto& s : r.complete_step()) {
-        auto& rec = rep.requests[static_cast<std::size_t>(s.request_id)];
+        const auto id = static_cast<std::size_t>(s.request_id);
+        if (done[id]) {
+          // Both copies finished in the very same step (possibly on the
+          // same replica) — the winner already resolved it; this one is a
+          // photo-finish loser, cancelled at the completion boundary.
+          MIB_ENSURE(copies[id] > 0, "completed copy of a resolved request");
+          --copies[id];
+          ++rep.hedges_cancelled;
+          continue;
+        }
+        auto& rec = rep.requests[id];
         record_terminal(s, RequestStatus::kCompleted);
         rec.first_token_s = s.first_token_s;
         rec.finish_s = finish;
         rec.replica = i;
         rec.prefix_hit = s.prefix_hit;
+        rec.won_by_hedge = s.is_hedge;
+        if (s.is_hedge) ++rep.hedges_won;
+        cancel_other_copies(s.request_id);
+        --copies[id];
+        hedge.observe_ttft(rec.ttft());
         ++rep.completed;
         auto& rr = rep.replicas[u];
         ++rr.completed;
@@ -305,19 +658,44 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       }
     }
 
-    // --- 3c. fresh arrivals (bounded-queue admission, then routing) ---
+    // --- 3g. finished KV migrations re-enter service elsewhere ---
+    {
+      std::vector<PendingMigration> due;
+      for (auto it = migrations.begin(); it != migrations.end();) {
+        if (it->ready_s <= now) {
+          due.push_back(*it);
+          it = migrations.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::stable_sort(due.begin(), due.end(),
+                       [](const PendingMigration& a, const PendingMigration& b) {
+                         return std::tie(a.ready_s, a.seq.request_id) <
+                                std::tie(b.ready_s, b.seq.request_id);
+                       });
+      for (auto& p : due) dispatch(std::move(p.seq), now);
+    }
+
+    // --- 3h. fresh arrivals (bounded-queue admission, then routing) ---
     while (next_arrival < intake.size() &&
            intake[next_arrival].arrival_s <= now) {
       Sequence s = intake[next_arrival++];
+      const auto id = static_cast<std::size_t>(s.request_id);
       if (!admission.try_admit(queued_total())) {
         record_terminal(s, RequestStatus::kRejected);
         ++rep.rejected;
         continue;
       }
+      copies[id] = 1;
+      const double trigger = hedge.trigger_delay();
+      if (std::isfinite(trigger)) {
+        hedge_timers.push(HedgeTimer{now + trigger, s.request_id});
+      }
       dispatch(std::move(s), now);
     }
 
-    // --- 3d. due retries (already admitted; deterministic order) ---
+    // --- 3i. due retries (already admitted; deterministic order) ---
     {
       std::vector<PendingRetry> due;
       for (auto it = retries.begin(); it != retries.end();) {
@@ -336,7 +714,35 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       for (auto& p : due) dispatch(std::move(p.seq), now);
     }
 
-    // --- 3e. autoscaler tick ---
+    // --- 3j. hedge triggers: re-issue stragglers to a second replica ---
+    while (!hedge_timers.empty() && hedge_timers.top().at <= now) {
+      const int id = hedge_timers.top().id;
+      hedge_timers.pop();
+      const auto u = static_cast<std::size_t>(id);
+      if (done[u] || hedge_fired[u]) continue;
+      hedge_fired[u] = 1;
+      bool started = false;
+      for (const auto& r : reps) started = started || r.started(id);
+      if (started) continue;  // first token is out, nothing to hedge
+      auto up = routable_at(now);
+      // Never double up on a replica already holding a copy.
+      up.erase(std::remove_if(up.begin(), up.end(),
+                              [&](int r) {
+                                return reps[static_cast<std::size_t>(r)]
+                                           .find(id) != nullptr;
+                              }),
+               up.end());
+      if (up.empty()) continue;
+      Sequence copy = blank[u];
+      copy.is_hedge = true;
+      ++copies[u];
+      ++rep.hedges_issued;
+      rep.requests[u].hedged = true;
+      const int idx = router.route(copy, reps, up);
+      reps[static_cast<std::size_t>(idx)].enqueue(copy);
+    }
+
+    // --- 3k. autoscaler tick ---
     while (cfg_.autoscaler.enabled && next_tick <= now) {
       const long long queued = queued_total();
       int n_active = 0;
@@ -351,8 +757,13 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       if (decision > 0) {
         for (int i = 0; i < pool; ++i) {
           const auto u = static_cast<std::size_t>(i);
-          if (!active[u] && faults.up(i, now)) {
+          // Activation health-checks the standby (a probe, not routing).
+          if (!active[u] && !in_maint[u] && faults.up(i, now)) {
             active[u] = true;
+            if (!oracle) {
+              monitor.resume(i, now);
+              next_hb[u] = now + hb_period(i, now);
+            }
             rep.scale_events.push_back(
                 ScaleEvent{now, "add", i, queued, n_active + 1});
             break;
@@ -389,6 +800,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   }
   rep.throughput_tok_s = now > 0.0 ? total_tokens / now : 0.0;
   rep.slo = summarize_slo(rep.requests, cfg_.slo, now);
+  rep.circuit_events = monitor.events();
   int peak = 0;
   for (int i = 0; i < pool; ++i) {
     const auto u = static_cast<std::size_t>(i);
@@ -405,6 +817,8 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   }
   rep.replicas_used = peak;
 
+  // Terminal invariants: every request in exactly one bucket, no copy of
+  // any request (and no KV) left anywhere in the system.
   MIB_ENSURE(rep.completed + rep.rejected + rep.expired + rep.lost ==
                  rep.submitted,
              "request conservation violated: " << rep.completed << "+"
@@ -412,6 +826,16 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
                                                << rep.expired << "+"
                                                << rep.lost
                                                << " != " << rep.submitted);
+  for (int i = 0; i < pool; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    MIB_ENSURE(reps[u].queue_depth() == 0 && reps[u].running_count() == 0 &&
+                   reps[u].kv_tokens_in_use() == 0,
+               "replica " << i << " leaked work or KV past the run");
+    MIB_ENSURE(stranded[u].empty(),
+               "stranded work leaked on replica " << i);
+  }
+  MIB_ENSURE(retries.empty(), "retry queue leaked past the run");
+  MIB_ENSURE(migrations.empty(), "migration queue leaked past the run");
   return rep;
 }
 

@@ -9,15 +9,30 @@
 // fault schedule kills/revives replicas (evacuated work is retried with
 // backoff), and the autoscaler reacts to queue depth. Everything is
 // deterministic for a fixed seed.
+//
+// Partial-failure resilience (PR 2): replicas can also be *slow* instead
+// of dead (DegradationWindow, priced on derated hardware), the front-end
+// detects failures through heartbeats and circuit breakers instead of
+// reading the fault schedule (HealthMonitor — detection lag, false
+// positives and recovery probes become measurable), straggling requests
+// are hedged to a second replica, and planned maintenance drains a
+// replica by migrating its in-flight KV to peers over the datacenter
+// fabric instead of recomputing from scratch.
 #pragma once
 
 #include <vector>
+
+#include <memory>
 
 #include "common/stats.h"
 #include "engine/engine.h"
 #include "fleet/admission.h"
 #include "fleet/autoscaler.h"
+#include "fleet/degradation.h"
 #include "fleet/faults.h"
+#include "fleet/health.h"
+#include "fleet/hedge.h"
+#include "fleet/migration.h"
 #include "fleet/replica.h"
 #include "fleet/router.h"
 #include "fleet/slo.h"
@@ -59,6 +74,15 @@ struct FleetConfig {
   AdmissionConfig admission;
   RetryPolicy retry;
   std::vector<FaultWindow> faults;
+  /// Brownouts: replicas running slow (throttle, ECC, contended fabric).
+  std::vector<DegradationWindow> degradations;
+  /// Planned outages, drained via KV migration or evacuate-and-recompute.
+  std::vector<MaintenanceWindow> maintenance;
+  MigrationConfig migration;
+  /// Heartbeat failure detection + circuit breakers. When disabled the
+  /// router falls back to the PR 1 oracle (it sees the fault schedule).
+  HealthConfig health;
+  HedgeConfig hedge;
   AutoscalerConfig autoscaler;
   SloConfig slo;
   std::uint64_t seed = 1;
@@ -102,6 +126,21 @@ struct FleetReport {
                : 0.0;
   }
 
+  // --- resilience ---
+  long long hedges_issued = 0;     ///< second copies dispatched
+  long long hedges_won = 0;        ///< requests whose hedge copy won
+  long long hedges_cancelled = 0;  ///< loser copies removed, KV freed
+  long long circuit_opens = 0;
+  long long false_circuit_opens = 0;  ///< opened while the replica was up
+  /// Failure until the front-end learned of it (circuit open or observed
+  /// restart) — the cost of not having PR 1's oracle.
+  Samples detection_lag_s;
+  long long migrations = 0;            ///< sequences drain-migrated with KV
+  long long migrated_kv_tokens = 0;
+  Samples migration_s;                 ///< per-sequence KV transfer time
+  long long drain_evacuations = 0;     ///< drained by recompute instead
+  std::vector<CircuitEvent> circuit_events;
+
   /// Replicas that executed at least one step (shows autoscaler growth).
   int replicas_used = 0;
   std::vector<ReplicaReport> replicas;     ///< one per pool slot
@@ -128,6 +167,9 @@ class FleetSimulator {
   engine::LayerCostModel cost_;
   engine::MemoryModel mem_;
   long long kv_capacity_tokens_ = 0;
+  /// One LayerCostModel per distinct degradation scale (built after
+  /// validation, hence the indirection).
+  std::unique_ptr<DegradedCostPool> degraded_costs_;
 };
 
 }  // namespace mib::fleet

@@ -1,0 +1,53 @@
+// Planned maintenance: drain a replica by migrating its in-flight KV state
+// to peers instead of throwing the work away.
+//
+// PR 1's only way to take a replica out was the fault path: evacuate,
+// lose all progress, recompute elsewhere. For *planned* events (kernel
+// upgrades, recabling, host reboots) the source is still healthy, so its
+// KV blocks can be shipped to a peer over the datacenter fabric and the
+// sequence resumes where it left off. The transfer is priced by
+// hw::Interconnect over the configured link and serialized per source
+// replica (one NIC), so the recompute-vs-migrate tradeoff is a real
+// crossover: tiny contexts re-prefill faster than they ship, deep
+// contexts are far cheaper to move.
+#pragma once
+
+#include "common/error.h"
+#include "hw/interconnect.h"
+
+namespace mib::fleet {
+
+/// One planned outage: replica unavailable for [start_s, end_s). Work is
+/// drained at start_s; the replica returns cold at end_s.
+struct MaintenanceWindow {
+  int replica = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  void validate() const {
+    MIB_ENSURE(replica >= 0, "maintenance window names a negative replica");
+    MIB_ENSURE(start_s >= 0.0, "maintenance window starts before t=0");
+    MIB_ENSURE(end_s > start_s,
+               "maintenance window must have positive duration");
+  }
+};
+
+struct MigrationConfig {
+  /// true: ship KV to a peer and resume; false: evacuate-and-recompute
+  /// (progress lost, re-dispatched immediately — the PR 1 baseline, kept
+  /// for the crossover study).
+  bool migrate_kv = true;
+  /// Fabric the KV blocks cross between replicas (distinct nodes).
+  hw::LinkSpec link = hw::ib_ndr400();
+  /// Fixed per-sequence handoff cost (control-plane RPC, block table).
+  double per_sequence_overhead_s = 0.002;
+
+  void validate() const {
+    MIB_ENSURE(link.bandwidth > 0.0, "migration link bandwidth must be > 0");
+    MIB_ENSURE(link.latency >= 0.0, "negative migration link latency");
+    MIB_ENSURE(per_sequence_overhead_s >= 0.0,
+               "negative migration overhead");
+  }
+};
+
+}  // namespace mib::fleet

@@ -22,6 +22,44 @@ Replica::Replica(const engine::LayerCostModel* cost,
   cfg_.validate();
 }
 
+void Replica::set_cost_model(const engine::LayerCostModel* cost) {
+  MIB_ENSURE(cost != nullptr, "replica needs a cost model");
+  cost_ = cost;
+}
+
+const Sequence* Replica::find(int request_id) const {
+  for (const auto& s : running_) {
+    if (s.request_id == request_id) return &s;
+  }
+  for (const auto& s : waiting_) {
+    if (s.request_id == request_id) return &s;
+  }
+  return nullptr;
+}
+
+bool Replica::started(int request_id) const {
+  const Sequence* s = find(request_id);
+  return s != nullptr && s->first_token_s >= 0.0;
+}
+
+bool Replica::cancel(int request_id) {
+  for (auto it = running_.begin(); it != running_.end(); ++it) {
+    if (it->request_id == request_id) {
+      running_.erase(it);
+      // Retired capacity, even if by cancellation: admissions resume.
+      admission_blocked_ = false;
+      return true;
+    }
+  }
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if (it->request_id == request_id) {
+      waiting_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 long long Replica::outstanding_tokens() const {
   long long total = 0;
   for (const auto& s : waiting_) total += s.remaining_tokens();
@@ -65,13 +103,18 @@ void Replica::admit() {
   while (!waiting_.empty() &&
          static_cast<int>(running_.size()) < cfg_.max_batch) {
     const Sequence& head = waiting_.front();
-    if (kv_in_use() + head.input_tokens > kv_capacity_) break;
+    // A migrated sequence arrives with KV already accumulated; reserve for
+    // whichever is larger, its resident state or its full prompt.
+    const long long need =
+        std::max<long long>(head.input_tokens, head.kv_tokens());
+    if (kv_in_use() + need > kv_capacity_) break;
     Sequence s = head;
     waiting_.pop_front();
     // Prefix-cache lookup happens when service starts: a warm conversation
     // prefix is skipped (its KV "reappears" from the cache), so prefill
-    // charges only the new turn.
-    if (s.prefix_hash != 0) {
+    // charges only the new turn. Migrated sequences (progress > 0) carry
+    // their KV with them and skip the lookup.
+    if (s.prefix_hash != 0 && s.prefilled == 0 && s.generated == 0) {
       ++prefix_lookups_;
       if (prefix_warm(s.prefix_hash)) {
         ++prefix_hits_;
@@ -207,23 +250,30 @@ std::vector<Sequence> Replica::complete_step() {
   return finished;
 }
 
-std::vector<Sequence> Replica::evacuate() {
+std::vector<Sequence> Replica::take_all() {
   std::vector<Sequence> out;
   out.reserve(running_.size() + waiting_.size());
   for (auto& s : running_) out.push_back(s);
   for (auto& s : waiting_) out.push_back(s);
   running_.clear();
   waiting_.clear();
+  // The node goes away either way (crash or maintenance reboot): its
+  // prefix cache is cold when it returns.
+  prefix_cache_.clear();
+  mid_step_ = false;
+  admission_blocked_ = false;
+  return out;
+}
+
+std::vector<Sequence> Replica::evacuate() {
+  auto out = take_all();
+  // Crash: KV is gone, all progress lost.
   for (auto& s : out) {
     s.prefilled = 0;
     s.generated = 0;
     s.first_token_s = -1.0;
     s.prefix_hit = false;
   }
-  // Node restart: KV (and with it every cached prefix) is gone.
-  prefix_cache_.clear();
-  mid_step_ = false;
-  admission_blocked_ = false;
   return out;
 }
 

@@ -30,6 +30,7 @@ struct Sequence {
   std::uint64_t prefix_hash = 0;  ///< conversation identity; 0 = none
   int prefix_tokens = 0;          ///< reusable prefix length (system+history)
   int retries = 0;                ///< re-routes after replica failures
+  bool is_hedge = false;          ///< this copy is the hedged re-issue
 
   // progress
   int prefilled = 0;
@@ -61,6 +62,10 @@ class Replica {
   Replica(const engine::LayerCostModel* cost, long long kv_capacity_tokens,
           ReplicaConfig cfg);
 
+  /// Swap the pricing model (degradation window edges). Affects steps
+  /// begun afterwards; an in-flight step keeps its committed end time.
+  void set_cost_model(const engine::LayerCostModel* cost);
+
   // --- queueing ---
   void enqueue(const Sequence& seq) { waiting_.push_back(seq); }
   int queue_depth() const { return static_cast<int>(waiting_.size()); }
@@ -68,6 +73,16 @@ class Replica {
   bool has_work() const { return !waiting_.empty() || !running_.empty(); }
   /// Total tokens still to produce across queued + running work.
   long long outstanding_tokens() const;
+  /// KV tokens resident right now (leak checks, migration sizing).
+  long long kv_tokens_in_use() const { return kv_in_use(); }
+
+  /// The copy of `request_id` held here (queued or running), or nullptr.
+  const Sequence* find(int request_id) const;
+  /// Whether this replica has emitted the first token of `request_id`.
+  bool started(int request_id) const;
+  /// Remove the copy of `request_id` (hedge loser, resolved elsewhere).
+  /// Its KV is freed immediately. Returns whether a copy was held.
+  bool cancel(int request_id);
 
   // --- stepping (driven by the fleet event loop) ---
   bool mid_step() const { return mid_step_; }
@@ -83,6 +98,11 @@ class Replica {
   /// Failure: drop all queued and running work (KV and progress lost) and
   /// clear the prefix cache. Returns the evacuated sequences.
   std::vector<Sequence> evacuate();
+  /// Planned drain: remove all queued and running work with progress
+  /// *intact* (prefill/decode position, first-token stamp) for KV
+  /// migration to a peer. The replica ends empty and cold, like after a
+  /// maintenance reboot.
+  std::vector<Sequence> take_all();
 
   // --- prefix cache ---
   bool prefix_warm(std::uint64_t hash) const {

@@ -46,6 +46,9 @@ struct RequestRecord {
   int retries = 0;
   bool had_prefix = false;  ///< carried a cacheable conversation prefix
   bool prefix_hit = false;  ///< prefill skipped a warm prefix
+  bool hedged = false;          ///< a second copy was issued
+  bool won_by_hedge = false;    ///< the hedge copy finished first
+  bool migrated = false;        ///< KV was drain-migrated at least once
 
   bool completed() const { return status == RequestStatus::kCompleted; }
   double ttft() const { return first_token_s - arrival_s; }

@@ -24,6 +24,16 @@ double DeviceSpec::peak_flops(DType dt) const {
   return peak_flops_16;
 }
 
+DeviceSpec DeviceSpec::derate(double flops_scale, double mem_bw_scale) const {
+  DeviceSpec d = *this;
+  d.name = name + " (derated)";
+  d.peak_flops_16 *= flops_scale;
+  d.peak_flops_8 *= flops_scale;
+  d.peak_flops_32 *= flops_scale;
+  d.mem_bw *= mem_bw_scale;
+  return d;
+}
+
 DeviceSpec h100_sxm5() {
   DeviceSpec d;
   d.name = "H100-SXM5-80GB";

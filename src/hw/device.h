@@ -72,6 +72,13 @@ struct DeviceSpec {
   double peak_flops(DType dt) const;
   /// Usable memory in bytes.
   double usable_mem() const { return mem_bytes * usable_mem_fraction; }
+
+  /// A throttled copy of this device: math peaks scaled by `flops_scale`
+  /// and memory bandwidth by `mem_bw_scale` (both in (0, 1]). Capacity is
+  /// untouched — a thermally throttled or ECC-degraded part keeps its
+  /// memory, it just moves data and multiplies slower. Used by the fleet's
+  /// degradation model to price slow-but-alive replicas.
+  DeviceSpec derate(double flops_scale, double mem_bw_scale) const;
 };
 
 /// Datasheet presets.

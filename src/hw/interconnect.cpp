@@ -7,6 +7,13 @@
 
 namespace mib::hw {
 
+LinkSpec LinkSpec::derate(double bw_scale) const {
+  LinkSpec l = *this;
+  l.name = name + " (contended)";
+  l.bandwidth *= bw_scale;
+  return l;
+}
+
 LinkSpec nvlink4() {
   return LinkSpec{.name = "NVLink4", .bandwidth = 450.0 * kGB,
                   .latency = 2.0e-6};

@@ -15,6 +15,11 @@ struct LinkSpec {
   std::string name;
   double bandwidth = 0.0;  ///< bytes/s per direction per device
   double latency = 0.0;    ///< seconds per hop (alpha)
+
+  /// A contended copy of this link: bandwidth scaled by `bw_scale` in
+  /// (0, 1], latency unchanged (congestion shrinks the pipe before it
+  /// stretches the hop). Used by the fleet's degradation model.
+  LinkSpec derate(double bw_scale) const;
 };
 
 /// NVLink4 (H100 SXM): 900 GB/s aggregate bidirectional = 450 GB/s each way.

@@ -1,0 +1,194 @@
+// Deterministic chaos harness: randomized fault + degradation + maintenance
+// schedules across many seeds, asserting the fleet's resilience invariants
+// hold on every one of them.
+//
+// The simulator also self-checks internally (MIB_ENSURE on request
+// conservation, no dispatch to an open circuit, monotonic simulation time,
+// no leaked KV or queued work past the run), so merely surviving a run is
+// half the assertion; the rest is re-checked here from the report.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "fleet/fleet.h"
+#include "hw/cluster.h"
+#include "models/zoo.h"
+#include "workload/arrivals.h"
+
+namespace mib::fleet {
+namespace {
+
+constexpr int kChaosSeeds = 60;
+
+/// Disjoint random windows in [0, horizon) for one replica: walk time
+/// forward so overlap is impossible by construction.
+template <typename Window, typename Fill>
+void random_windows(Rng& rng, int replica, double horizon, int max_windows,
+                    std::vector<Window>& out, Fill&& fill) {
+  double t = rng.uniform(0.0, horizon * 0.3);
+  const int count = static_cast<int>(rng.uniform_index(
+      static_cast<std::uint64_t>(max_windows + 1)));
+  for (int k = 0; k < count && t < horizon; ++k) {
+    Window w;
+    w.replica = replica;
+    w.start_s = t;
+    w.end_s = t + rng.uniform(0.05, 0.4);
+    fill(w);
+    out.push_back(w);
+    t = w.end_s + rng.uniform(0.1, 0.6);
+  }
+}
+
+/// One randomized chaos scenario, fully determined by `seed`.
+FleetConfig chaos_cfg(std::uint64_t seed) {
+  Rng rng(seed);
+  FleetConfig fc;
+  fc.engine.model = models::olmoe_1b_7b();
+  fc.engine.cluster = hw::Cluster::h100_node(1);
+  fc.n_replicas = 3;
+  fc.seed = seed;
+  fc.replica.max_batch = 8;
+  fc.admission.queue_capacity = 64;
+  if (rng.bernoulli(0.3)) fc.admission.deadline_s = rng.uniform(0.5, 2.0);
+  fc.retry.max_retries = static_cast<int>(rng.uniform_index(4));
+  fc.retry.jitter = rng.bernoulli(0.5) ? rng.uniform(0.1, 1.0) : 0.0;
+  fc.health.enabled = rng.bernoulli(0.8);  // a few runs keep the oracle
+  fc.hedge.enabled = rng.bernoulli(0.5);
+  fc.hedge.delay_s = rng.bernoulli(0.5) ? rng.uniform(0.05, 0.3) : 0.0;
+  fc.migration.migrate_kv = rng.bernoulli(0.5);
+  const double horizon = 2.0;
+  for (int i = 0; i < fc.n_replicas; ++i) {
+    random_windows(rng, i, horizon, 2, fc.faults, [](FaultWindow&) {});
+    random_windows(rng, i, horizon, 2, fc.degradations,
+                   [&](DegradationWindow& w) {
+                     w.scale.flops = rng.uniform(0.25, 1.0);
+                     w.scale.mem_bw = rng.uniform(0.25, 1.0);
+                     w.scale.link_bw = rng.uniform(0.25, 1.0);
+                   });
+    if (rng.bernoulli(0.4)) {
+      random_windows(rng, i, horizon, 1, fc.maintenance,
+                     [](MaintenanceWindow&) {});
+    }
+  }
+  return fc;
+}
+
+std::vector<FleetRequest> chaos_trace(std::uint64_t seed) {
+  Rng rng(seed ^ 0xC0FFEEull);
+  const int n = 24 + static_cast<int>(rng.uniform_index(25));
+  auto trace = as_fleet_trace(engine::make_uniform_batch(n, 192, 48));
+  workload::ArrivalConfig ac;
+  ac.rate_qps = rng.uniform(80.0, 300.0);
+  ac.seed = seed ^ 0xA11CEull;
+  stamp_arrivals(ac, trace);
+  return trace;
+}
+
+void assert_invariants(const FleetConfig& cfg, const FleetReport& r) {
+  // Request conservation: every submitted request lands in exactly one
+  // terminal bucket.
+  ASSERT_EQ(r.completed + r.rejected + r.expired + r.lost, r.submitted);
+  ASSERT_EQ(static_cast<long long>(r.requests.size()), r.submitted);
+  long long completed = 0;
+  for (const auto& rec : r.requests) {
+    if (!rec.completed()) continue;
+    ++completed;
+    EXPECT_GE(rec.first_token_s, rec.arrival_s);
+    EXPECT_GE(rec.finish_s, rec.first_token_s);
+    EXPECT_LE(rec.finish_s, r.makespan_s + 1e-9);
+    EXPECT_LE(rec.retries, cfg.retry.max_retries);
+  }
+  ASSERT_EQ(completed, r.completed);
+  // Hedge bookkeeping: winners and cancelled losers are both bounded by
+  // issued hedges, and a request can only win by hedge if it was hedged.
+  EXPECT_LE(r.hedges_won, r.hedges_issued);
+  EXPECT_LE(r.hedges_cancelled, r.hedges_issued);
+  for (const auto& rec : r.requests) {
+    if (rec.won_by_hedge) EXPECT_TRUE(rec.hedged);
+  }
+  // Circuit timeline: monotone in time, opens counted consistently, and
+  // every false positive corresponds to an open while the replica was up.
+  double last = 0.0;
+  long long opens = 0;
+  for (const auto& ev : r.circuit_events) {
+    EXPECT_GE(ev.t_s, last);
+    last = ev.t_s;
+    if (ev.to == CircuitState::kOpen) ++opens;
+  }
+  EXPECT_EQ(opens, r.circuit_opens);
+  EXPECT_LE(r.false_circuit_opens, r.circuit_opens);
+  if (!cfg.health.enabled) {
+    EXPECT_EQ(r.circuit_opens, 0);
+    EXPECT_EQ(r.detection_lag_s.count(), 0u);
+  }
+  for (double lag : r.detection_lag_s.values()) EXPECT_GE(lag, 0.0);
+  // Migration accounting only moves KV when enabled.
+  if (!cfg.migration.migrate_kv) EXPECT_EQ(r.migrations, 0);
+  EXPECT_GE(r.migrated_kv_tokens, r.migrations);  // >= 1 token each
+  for (double s : r.migration_s.values()) EXPECT_GT(s, 0.0);
+}
+
+TEST(Chaos, InvariantsHoldAcrossRandomizedSchedules) {
+  for (std::uint64_t seed = 1; seed <= kChaosSeeds; ++seed) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    const auto cfg = chaos_cfg(seed);
+    const auto trace = chaos_trace(seed);
+    FleetReport r;
+    ASSERT_NO_THROW(r = FleetSimulator(cfg).run(trace))
+        << "chaos seed " << seed << " violated an internal invariant";
+    assert_invariants(cfg, r);
+  }
+}
+
+TEST(Chaos, EveryFeatureExercisedSomewhereInTheSweep) {
+  // The sweep is only a real chaos test if the random scenarios actually
+  // hit the interesting machinery: failures detected by the monitor,
+  // hedges issued, KV migrated, work retried.
+  long long opens = 0, hedges = 0, migrations = 0, retries = 0, lost = 0;
+  for (std::uint64_t seed = 1; seed <= kChaosSeeds; ++seed) {
+    const auto r = FleetSimulator(chaos_cfg(seed)).run(chaos_trace(seed));
+    opens += r.circuit_opens;
+    hedges += r.hedges_issued;
+    migrations += r.migrations;
+    retries += r.retries;
+    lost += r.lost;
+  }
+  EXPECT_GT(opens, 0);
+  EXPECT_GT(hedges, 0);
+  EXPECT_GT(migrations, 0);
+  EXPECT_GT(retries, 0);
+  EXPECT_GT(lost, 0);  // some seeds draw a zero retry budget
+}
+
+TEST(Chaos, DeterministicUnderChaos) {
+  // Same seed, same schedule, same trace: bit-identical reports even with
+  // every resilience feature active.
+  for (std::uint64_t seed : {3ull, 17ull, 42ull}) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    const auto cfg = chaos_cfg(seed);
+    const auto trace = chaos_trace(seed);
+    const auto a = FleetSimulator(cfg).run(trace);
+    const auto b = FleetSimulator(cfg).run(trace);
+    EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.hedges_issued, b.hedges_issued);
+    EXPECT_EQ(a.circuit_opens, b.circuit_opens);
+    EXPECT_EQ(a.migrations, b.migrations);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+      EXPECT_EQ(a.requests[i].status, b.requests[i].status);
+      EXPECT_DOUBLE_EQ(a.requests[i].finish_s, b.requests[i].finish_s);
+    }
+    ASSERT_EQ(a.circuit_events.size(), b.circuit_events.size());
+    for (std::size_t i = 0; i < a.circuit_events.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.circuit_events[i].t_s, b.circuit_events[i].t_s);
+      EXPECT_EQ(a.circuit_events[i].replica, b.circuit_events[i].replica);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mib::fleet
