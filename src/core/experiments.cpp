@@ -87,9 +87,12 @@ const std::vector<ExperimentInfo>& experiments() {
        "replica-failure window",
        "extra_fleet_capacity"},
       {"extra_chaos", "Partial-failure resilience: detection lag, hedging, "
-       "KV drain-migration, chaos sweep (extension)",
+       "KV drain-migration, correlated failures, control-plane redundancy "
+       "(extension)",
        "OLMoE-1B-7B H100 replicas; heartbeat detection vs oracle, "
-       "straggler hedging, migrate-vs-recompute crossover, 50-seed chaos",
+       "straggler hedging, migrate-vs-recompute crossover, 50-seed chaos, "
+       "rack-level faults vs independent, phi x heartbeat detector grid, "
+       "router fail-over + stale views, striped/overlapped drain",
        "extra_chaos_resilience"},
       {"trace_profile", "Simulated per-op profiler timeline",
        "Mixtral-8x7B TP4, one decode step + one prefill", "trace_profile"},

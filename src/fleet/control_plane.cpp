@@ -1,0 +1,92 @@
+#include "fleet/control_plane.h"
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace mib::fleet {
+
+namespace {
+
+std::vector<FaultWindow> as_fault_windows(
+    const std::vector<RouterFaultWindow>& windows) {
+  std::vector<FaultWindow> out;
+  out.reserve(windows.size());
+  for (const auto& w : windows) {
+    out.push_back(FaultWindow{w.router, w.start_s, w.end_s});
+  }
+  return out;
+}
+
+}  // namespace
+
+ControlPlane::ControlPlane(const ControlPlaneConfig& cfg, RoutePolicy policy,
+                           std::uint64_t seed, int pool)
+    : cfg_(cfg), schedule_(as_fault_windows(cfg.router_faults)) {
+  cfg_.validate();
+  routers_.reserve(static_cast<std::size_t>(cfg_.routers));
+  for (int r = 0; r < cfg_.routers; ++r) {
+    // Router 0 keeps the historical seed so routers=1 reproduces the
+    // single-router fleet bit-for-bit; extra routers derive theirs.
+    std::uint64_t s = seed ^ 0xF1EE7ull;
+    if (r > 0) {
+      std::uint64_t state =
+          s + static_cast<std::uint64_t>(r) * 0x9E3779B97F4A7C15ull;
+      s = splitmix64(state);
+    }
+    routers_.emplace_back(policy, s);
+  }
+  // Everything is routable at boot; the first sync overwrites this with
+  // the live truth before any dispatch happens.
+  views_.assign(static_cast<std::size_t>(cfg_.routers),
+                std::vector<char>(static_cast<std::size_t>(pool), 1));
+  next_sync_.resize(static_cast<std::size_t>(cfg_.routers), 0.0);
+  for (int r = 0; r < cfg_.routers; ++r) {
+    // Staggered cadence: router r syncs at (r+1)/routers * interval, then
+    // every interval — the stagger is what opens real disagreement
+    // windows between routers.
+    next_sync_[static_cast<std::size_t>(r)] =
+        cfg_.view_sync_interval_s * (r + 1) / cfg_.routers;
+  }
+}
+
+int ControlPlane::survivor(double t) const {
+  for (int r = 0; r < cfg_.routers; ++r) {
+    if (schedule_.up(r, t)) return r;
+  }
+  return -1;
+}
+
+void ControlPlane::sync(double now, const std::function<bool(int)>& live_ok) {
+  for (int r = 0; r < cfg_.routers; ++r) {
+    const auto u = static_cast<std::size_t>(r);
+    if (stale_views()) {
+      if (next_sync_[u] > now) continue;
+      while (next_sync_[u] <= now) next_sync_[u] += cfg_.view_sync_interval_s;
+    }
+    for (std::size_t i = 0; i < views_[u].size(); ++i) {
+      views_[u][i] = live_ok(static_cast<int>(i)) ? 1 : 0;
+    }
+  }
+}
+
+double ControlPlane::next_sync_after(double t) const {
+  if (!stale_views()) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  for (double s : next_sync_) {
+    if (s > t) best = std::min(best, s);
+  }
+  return best;
+}
+
+void ControlPlane::accumulate_disagreement(double from, double to) {
+  if (!stale_views() || to <= from) return;
+  for (std::size_t r = 1; r < views_.size(); ++r) {
+    if (views_[r] != views_[0]) {
+      disagreement_s_ += to - from;
+      return;
+    }
+  }
+}
+
+}  // namespace mib::fleet

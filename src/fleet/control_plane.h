@@ -1,0 +1,136 @@
+// Control-plane redundancy: replicated front-end routers with eventually-
+// consistent breaker views and client-side fail-over.
+//
+// PR 1/2 routed everything through a single infallible zero-latency router
+// that always saw the live circuit-breaker state. Real front-ends are N
+// replicated processes that (a) can die, and (b) learn breaker transitions
+// through a view-sync channel with a propagation delay. Both costs become
+// measurable here:
+//
+//  - Each request is pinned to a home router (request_id mod routers, the
+//    usual client-side sharding). If the home router is down when the
+//    request reaches it, the request strands there until the client's
+//    fail-over timeout (failover_detection_s) fires, then re-enters at the
+//    lowest-index surviving router.
+//  - With view_sync_interval_s > 0, each router routes on a snapshot of
+//    breaker state refreshed on its own staggered cadence. During the
+//    stale window two routers can disagree — one still dispatches to a
+//    replica whose breaker has opened (the request strands on the dead
+//    node until the restart is observed), the other already routes around
+//    it. The fleet reports the accumulated disagreement time and the
+//    number of stale dispatches.
+//
+// With routers = 1 and no router faults the plane collapses to the PR 1/2
+// behaviour bit-for-bit: one router, live view, no stranding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/error.h"
+#include "fleet/faults.h"
+#include "fleet/router.h"
+
+namespace mib::fleet {
+
+/// One front-end router outage: down for [start_s, end_s).
+struct RouterFaultWindow {
+  int router = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  void validate() const {
+    MIB_ENSURE(router >= 0, "router fault names a negative router");
+    MIB_ENSURE(start_s >= 0.0, "router fault starts before t=0");
+    MIB_ENSURE(end_s > start_s, "router fault must have positive duration");
+  }
+};
+
+struct ControlPlaneConfig {
+  int routers = 1;
+  /// Seconds between a router's snapshots of breaker state; 0 = every
+  /// router always sees the live view (the PR 1/2 single-view model).
+  double view_sync_interval_s = 0.0;
+  /// Client-side lag before a request at a dead router re-enters at a
+  /// surviving one.
+  double failover_detection_s = 0.05;
+  std::vector<RouterFaultWindow> router_faults;
+
+  void validate() const {
+    MIB_ENSURE(routers >= 1, "control plane needs at least one router");
+    MIB_ENSURE(view_sync_interval_s >= 0.0, "negative view-sync interval");
+    MIB_ENSURE(failover_detection_s > 0.0,
+               "router fail-over detection lag must be > 0");
+    for (const auto& w : router_faults) {
+      w.validate();
+      MIB_ENSURE(w.router < routers, "router fault names router "
+                                         << w.router << " of " << routers);
+    }
+    for (std::size_t i = 0; i < router_faults.size(); ++i) {
+      for (std::size_t j = i + 1; j < router_faults.size(); ++j) {
+        const auto& a = router_faults[i];
+        const auto& b = router_faults[j];
+        if (a.router != b.router) continue;
+        MIB_ENSURE(a.end_s <= b.start_s || b.end_s <= a.start_s,
+                   "overlapping fault windows for router " << a.router);
+      }
+    }
+  }
+};
+
+/// The replicated front end: per-router routing state, breaker-view
+/// snapshots, and the router fault schedule. Owned by one fleet run.
+class ControlPlane {
+ public:
+  ControlPlane(const ControlPlaneConfig& cfg, RoutePolicy policy,
+               std::uint64_t seed, int pool);
+
+  const ControlPlaneConfig& config() const { return cfg_; }
+  int routers() const { return cfg_.routers; }
+
+  /// The home router a request is pinned to.
+  int assigned_router(int request_id) const {
+    return request_id % cfg_.routers;
+  }
+  bool router_up(int router, double t) const {
+    return schedule_.up(router, t);
+  }
+  /// Lowest-index live router at t, or -1 when the whole plane is dark.
+  int survivor(double t) const;
+  double next_router_transition_after(double t) const {
+    return schedule_.next_transition_after(t);
+  }
+
+  /// Whether routers hold independently aging views (vs one live view).
+  bool stale_views() const {
+    return cfg_.routers > 1 && cfg_.view_sync_interval_s > 0.0;
+  }
+  /// Refresh every view whose sync deadline has passed (all views, when
+  /// the sync interval is 0). `live_ok(i)` is the ground-truth breaker /
+  /// oracle routability of replica i at `now`.
+  void sync(double now, const std::function<bool(int)>& live_ok);
+  /// Earliest view-sync deadline strictly after t (+inf with live views).
+  double next_sync_after(double t) const;
+  /// Router `r`'s (possibly stale) belief that replica i is routable.
+  bool view_ok(int router, int replica) const {
+    return views_[static_cast<std::size_t>(router)]
+                 [static_cast<std::size_t>(replica)] != 0;
+  }
+  /// Charge (from, to] to the disagreement clock if any two routers'
+  /// current views differ.
+  void accumulate_disagreement(double from, double to);
+  double disagreement_s() const { return disagreement_s_; }
+
+  Router& router(int idx) { return routers_[static_cast<std::size_t>(idx)]; }
+
+ private:
+  ControlPlaneConfig cfg_;
+  FaultSchedule schedule_;
+  std::vector<Router> routers_;
+  std::vector<std::vector<char>> views_;  ///< router -> replica routable
+  std::vector<double> next_sync_;
+  double disagreement_s_ = 0.0;
+};
+
+}  // namespace mib::fleet

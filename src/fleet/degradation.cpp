@@ -37,18 +37,28 @@ double DegradationSchedule::next_transition_after(double t) const {
 DegradedCostPool::DegradedCostPool(
     const engine::LayerCostModel* base, const engine::EngineConfig& cfg,
     const std::vector<DegradationWindow>& windows)
+    : DegradedCostPool(base, cfg, [&windows] {
+        std::vector<PerfScale> scales;
+        scales.reserve(windows.size());
+        for (const auto& w : windows) scales.push_back(w.scale);
+        return scales;
+      }()) {}
+
+DegradedCostPool::DegradedCostPool(const engine::LayerCostModel* base,
+                                   const engine::EngineConfig& cfg,
+                                   const std::vector<PerfScale>& scales)
     : base_(base) {
   MIB_ENSURE(base_ != nullptr, "degraded cost pool needs a base model");
-  for (const auto& w : windows) {
-    if (!w.scale.degraded()) continue;
-    if (at(w.scale) != base_) continue;  // already built
+  for (const auto& scale : scales) {
+    if (!scale.degraded()) continue;
+    if (at(scale) != base_) continue;  // already built
     const auto& cl = cfg.cluster;
-    hw::Cluster derated(cl.device().derate(w.scale.flops, w.scale.mem_bw),
+    hw::Cluster derated(cl.device().derate(scale.flops, scale.mem_bw),
                         cl.size(), cl.devices_per_node(),
-                        cl.intra().link().derate(w.scale.link_bw),
-                        cl.inter().link().derate(w.scale.link_bw));
-    models_.emplace_back(w.scale, std::make_unique<engine::LayerCostModel>(
-                                      cfg.model, derated, cfg.plan, cfg.cost));
+                        cl.intra().link().derate(scale.link_bw),
+                        cl.inter().link().derate(scale.link_bw));
+    models_.emplace_back(scale, std::make_unique<engine::LayerCostModel>(
+                                    cfg.model, derated, cfg.plan, cfg.cost));
   }
 }
 
@@ -59,6 +69,28 @@ const engine::LayerCostModel* DegradedCostPool::at(
     if (key == scale) return model.get();
   }
   return base_;
+}
+
+std::vector<PerfScale> scales_for(const std::vector<DegradationWindow>& a,
+                                  const std::vector<DegradationWindow>& b) {
+  std::vector<PerfScale> scales;
+  auto push = [&scales](const PerfScale& s) {
+    if (!s.degraded()) return;
+    for (const auto& have : scales) {
+      if (have == s) return;
+    }
+    scales.push_back(s);
+  };
+  for (const auto& w : a) push(w.scale);
+  for (const auto& w : b) push(w.scale);
+  for (const auto& wa : a) {
+    for (const auto& wb : b) {
+      if (wa.replica != wb.replica) continue;
+      if (wa.end_s <= wb.start_s || wb.end_s <= wa.start_s) continue;
+      push(compose(wa.scale, wb.scale));
+    }
+  }
+  return scales;
 }
 
 }  // namespace mib::fleet

@@ -38,6 +38,14 @@ struct PerfScale {
   }
 };
 
+/// Composition of two independent slowdowns acting at once (a scheduled
+/// brownout on a replica still inside its post-recovery warm-up): the
+/// scales multiply per dimension.
+inline PerfScale compose(const PerfScale& a, const PerfScale& b) {
+  return PerfScale{a.flops * b.flops, a.mem_bw * b.mem_bw,
+                   a.link_bw * b.link_bw};
+}
+
 /// One brownout: replica runs at `scale` for [start_s, end_s).
 struct DegradationWindow {
   int replica = 0;
@@ -84,6 +92,12 @@ class DegradedCostPool {
   DegradedCostPool(const engine::LayerCostModel* base,
                    const engine::EngineConfig& cfg,
                    const std::vector<DegradationWindow>& windows);
+  /// Build models for an explicit scale set (lets the fleet pre-register
+  /// warm-up scales and brownout x warm-up products alongside the
+  /// scheduled windows).
+  DegradedCostPool(const engine::LayerCostModel* base,
+                   const engine::EngineConfig& cfg,
+                   const std::vector<PerfScale>& scales);
 
   const engine::LayerCostModel* at(const PerfScale& scale) const;
 
@@ -92,5 +106,11 @@ class DegradedCostPool {
   std::vector<std::pair<PerfScale, std::unique_ptr<engine::LayerCostModel>>>
       models_;
 };
+
+/// Every scale a fleet run can price: the windows of both schedules plus
+/// the product of each same-replica time-overlapping pair (a brownout
+/// composed with a warm-up ramp).
+std::vector<PerfScale> scales_for(const std::vector<DegradationWindow>& a,
+                                  const std::vector<DegradationWindow>& b);
 
 }  // namespace mib::fleet

@@ -97,6 +97,8 @@ void FleetConfig::validate() const {
   migration.validate();
   if (health.enabled) health.validate();
   if (hedge.enabled) hedge.validate();
+  if (warmup.enabled) warmup.validate();
+  control.validate();
   if (autoscaler.enabled) {
     autoscaler.validate();
     MIB_ENSURE(n_replicas >= autoscaler.min_replicas &&
@@ -107,6 +109,13 @@ void FleetConfig::validate() const {
   const int pool = autoscaler.enabled
                        ? std::max(n_replicas, autoscaler.max_replicas)
                        : n_replicas;
+  topology.validate(pool);
+  MIB_ENSURE(domain_faults.empty() || topology.enabled(),
+             "domain faults configured without a topology");
+  MIB_ENSURE(domain_degradations.empty() || topology.enabled(),
+             "domain degradations configured without a topology");
+  for (const auto& e : domain_faults) e.validate();
+  for (const auto& e : domain_degradations) e.validate();
   for (const auto& w : faults) {
     MIB_ENSURE(w.replica < pool,
                "fault window names replica " << w.replica
@@ -140,8 +149,18 @@ FleetSimulator::FleetSimulator(FleetConfig cfg)
   kv_capacity_tokens_ =
       static_cast<long long>(budget / mem_.kv_bytes_per_token_per_device());
   MIB_ENSURE(kv_capacity_tokens_ >= 1, "KV capacity below one token");
-  degraded_costs_ = std::make_unique<DegradedCostPool>(&cost_, cfg_.engine,
-                                                       cfg_.degradations);
+  // Expand domain events over the topology into the per-replica schedules
+  // the event loop prices. With no topology and no domain events these are
+  // the explicit schedules unchanged.
+  const Topology topo(cfg_.topology, pool_size());
+  faults_expanded_ = expand_domain_faults(topo, cfg_.domain_faults, cfg_.faults);
+  degr_expanded_ = expand_domain_degradations(topo, cfg_.domain_degradations,
+                                              cfg_.degradations);
+  WarmupPlan warm = plan_warmup(cfg_.warmup, faults_expanded_, cfg_.maintenance);
+  warmup_windows_ = std::move(warm.windows);
+  warmup_recoveries_ = warm.recoveries;
+  degraded_costs_ = std::make_unique<DegradedCostPool>(
+      &cost_, cfg_.engine, scales_for(degr_expanded_, warmup_windows_));
 }
 
 int FleetSimulator::pool_size() const {
@@ -200,9 +219,13 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   std::vector<bool> in_maint(static_cast<std::size_t>(pool), false);
   for (int i = 0; i < cfg_.n_replicas; ++i) active[static_cast<std::size_t>(i)] = true;
 
-  const FaultSchedule faults(cfg_.faults);
-  const DegradationSchedule degr(cfg_.degradations);
-  Router router(cfg_.policy, cfg_.seed ^ 0xF1EE7ull);
+  const FaultSchedule faults(faults_expanded_);
+  const DegradationSchedule degr(degr_expanded_);
+  // Warm-up ramps live in their own schedule: they may overlap scheduled
+  // brownouts (the one sanctioned composition) and are multiplied in at
+  // query time.
+  const DegradationSchedule warm(warmup_windows_);
+  ControlPlane plane(cfg_.control, cfg_.policy, cfg_.seed, pool);
   AdmissionController admission(cfg_.admission);
   const Autoscaler scaler(cfg_.autoscaler);
   HealthMonitor monitor(cfg_.health, pool);
@@ -230,6 +253,23 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     Sequence seq;
   };
   std::vector<PendingMigration> migrations;
+  /// Overlap drain: a running sequence whose KV snapshot copy completes at
+  /// `at`; the delta it decodes meanwhile is re-shipped at the cutover.
+  struct PendingHandoff {
+    double at = 0.0;
+    int replica = -1;
+    int id = -1;
+    long long snapshot_kv = 0;
+    double drain_start = 0.0;
+  };
+  std::vector<PendingHandoff> handoffs;
+  std::vector<bool> overlap_drain(static_cast<std::size_t>(pool), false);
+  /// Requests waiting out the client fail-over lag at a dead home router.
+  struct RouterPending {
+    double ready_s = 0.0;
+    Sequence seq;
+  };
+  std::vector<RouterPending> router_pending;
   /// Work that was on a replica when it died, held until the front-end
   /// *learns* of the failure (circuit opens or the restart is observed).
   std::vector<std::vector<Sequence>> stranded(static_cast<std::size_t>(pool));
@@ -253,10 +293,14 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   // Heartbeats and degradation state.
   std::vector<double> next_hb(static_cast<std::size_t>(pool), kInf);
   std::vector<PerfScale> cur_scale(static_cast<std::size_t>(pool));
+  /// Effective scale right now: scheduled brownout x post-recovery warm-up.
+  auto scale_at = [&](int i, double t) {
+    return compose(degr.at(i, t), warm.at(i, t));
+  };
   auto hb_period = [&](int i, double t) {
     // A degraded replica services its control plane late in proportion to
     // its worst-hit resource.
-    return cfg_.health.heartbeat_interval_s / degr.at(i, t).worst();
+    return cfg_.health.heartbeat_interval_s / scale_at(i, t).worst();
   };
   if (!oracle) {
     for (int i = 0; i < cfg_.n_replicas; ++i) {
@@ -288,14 +332,23 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     return t;
   };
   auto physically_up = [&](int i, double t) { return faults.up(i, t); };
-  auto routable_at = [&](double t) {
+  // The front end's ground-truth knowledge of a replica: the breaker state
+  // when detection is on, the fault schedule itself in legacy oracle mode.
+  auto live_routable = [&](int i, double t) {
+    return oracle ? faults.up(i, t) : monitor.routable(i);
+  };
+  // What router `rtr` believes is routable: its (possibly stale) breaker
+  // view when views age independently, the live truth otherwise. The
+  // active/draining/maintenance gates are front-end-initiated state every
+  // router knows instantly.
+  auto routable_for = [&](int rtr, double t) {
     std::vector<int> up;
     for (int i = 0; i < pool; ++i) {
       const auto u = static_cast<std::size_t>(i);
       if (!active[u] || draining[u] || in_maint[u]) continue;
-      // The front-end's knowledge: the breaker state when detection is
-      // on, the fault schedule itself in legacy oracle mode.
-      if (oracle ? faults.up(i, t) : monitor.routable(i)) up.push_back(i);
+      const bool ok =
+          plane.stale_views() ? plane.view_ok(rtr, i) : live_routable(i, t);
+      if (ok) up.push_back(i);
     }
     return up;
   };
@@ -331,16 +384,18 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     rec.had_prefix = s.prefix_hash != 0;
     ++resolved;
   };
-  auto dispatch = [&](Sequence seq, double t) {
-    const auto up = routable_at(t);
+  auto dispatch_via = [&](int rtr, Sequence seq, double t) {
+    const auto up = routable_for(rtr, t);
     if (up.empty()) {
-      // Whole fleet dark as far as the front-end knows: park until
+      // Whole fleet dark as far as this router knows: park until
       // something can change that — a fault transition (oracle mode or a
-      // restart), a breaker deadline, a maintenance edge, or the next
-      // autoscaler tick.
+      // restart), a breaker deadline, a maintenance edge, a view sync, a
+      // router recovery, or the next autoscaler tick.
       double wake = faults.next_transition_after(t);
       wake = std::min(wake, maint_transition_after(t));
       if (!oracle) wake = std::min(wake, monitor.next_event_after(t));
+      wake = std::min(wake, plane.next_sync_after(t));
+      wake = std::min(wake, plane.next_router_transition_after(t));
       if (cfg_.autoscaler.enabled) {
         wake = std::min(wake, next_tick > t
                                   ? next_tick
@@ -352,10 +407,39 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       retries.push_back(PendingRetry{wake, seq});
       return;
     }
-    const int idx = router.route(seq, reps, up);
-    MIB_ENSURE(oracle || monitor.routable(idx),
-               "dispatch to a replica with an open circuit");
+    const int idx = plane.router(rtr).route(seq, reps, up);
+    if (!live_routable(idx, t)) {
+      // Only a stale breaker view can pick a replica the live state has
+      // already fenced off.
+      MIB_ENSURE(plane.stale_views(),
+                 "dispatch to a replica with an open circuit");
+      ++rep.stale_dispatches;
+      if (!faults.up(idx, t)) {
+        // Connection refused by a dead node: the client times out after
+        // the usual detection lag, then re-enters at its home router
+        // (whose view has had time to catch up).
+        retries.push_back(
+            PendingRetry{t + cfg_.control.failover_detection_s, seq});
+        return;
+      }
+      // Breaker open but the node is alive (a false-positive open): the
+      // stale dispatch lands and is simply served.
+    }
     reps[static_cast<std::size_t>(idx)].enqueue(seq);
+  };
+  auto dispatch = [&](Sequence seq, double t) {
+    const int home = plane.assigned_router(seq.request_id);
+    if (!plane.router_up(home, t)) {
+      // Home router dead: the request strands client-side until the
+      // fail-over timeout fires, then re-enters at a survivor.
+      ++rep.router_stranded;
+      rep.requests[static_cast<std::size_t>(seq.request_id)].router_failover =
+          true;
+      router_pending.push_back(
+          RouterPending{t + cfg_.control.failover_detection_s, seq});
+      return;
+    }
+    dispatch_via(home, std::move(seq), t);
   };
   // A copy of `id` resolved; remove every other live copy (hedge losers,
   // parked retries, stranded or migrating duplicates) and free their KV.
@@ -384,6 +468,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     };
     drop_from(retries);
     drop_from(migrations);
+    drop_from(router_pending);
     for (auto& list : stranded) {
       for (auto it = list.begin(); it != list.end();) {
         if (it->request_id == id) {
@@ -439,7 +524,13 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     // --- 1. kick every in-service replica that is idle but has work ---
     for (int i = 0; i < pool; ++i) {
       const auto u = static_cast<std::size_t>(i);
-      if (!active[u] || in_maint[u] || !faults.up(i, now)) continue;
+      // A replica in maintenance normally sits dark — unless it is still
+      // overlap-draining, in which case it keeps decoding its running
+      // batch while the KV copies out behind it.
+      if (!active[u] || (in_maint[u] && !overlap_drain[u]) ||
+          !faults.up(i, now)) {
+        continue;
+      }
       Replica& r = reps[u];
       if (r.mid_step()) continue;
       for (auto& s : r.drop_expired(now)) {
@@ -468,6 +559,19 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
         }
       }
     }
+    // An overlap drain completes when the last sequence has cut over: the
+    // source is empty, no snapshot copies are pending, and the node can
+    // finally go down for its maintenance.
+    for (int i = 0; i < pool; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (!overlap_drain[u]) continue;
+      bool pending = false;
+      for (const auto& h : handoffs) pending = pending || h.replica == i;
+      if (!pending && !reps[u].mid_step() && !reps[u].has_work()) {
+        overlap_drain[u] = false;
+        reps[u].finish_drain();
+      }
+    }
     if (resolved >= n) break;
 
     // --- 2. next event time ---
@@ -480,9 +584,14 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     }
     for (const auto& p : retries) t_next = std::min(t_next, p.ready_s);
     for (const auto& p : migrations) t_next = std::min(t_next, p.ready_s);
+    for (const auto& h : handoffs) t_next = std::min(t_next, h.at);
+    for (const auto& p : router_pending) t_next = std::min(t_next, p.ready_s);
     t_next = std::min(t_next, faults.next_transition_after(now));
     t_next = std::min(t_next, degr.next_transition_after(now));
+    t_next = std::min(t_next, warm.next_transition_after(now));
     t_next = std::min(t_next, maint_transition_after(now));
+    t_next = std::min(t_next, plane.next_sync_after(now));
+    t_next = std::min(t_next, plane.next_router_transition_after(now));
     if (!oracle) {
       for (int i = 0; i < pool; ++i) {
         t_next = std::min(t_next, next_hb[static_cast<std::size_t>(i)]);
@@ -495,7 +604,11 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     if (cfg_.autoscaler.enabled) t_next = std::min(t_next, next_tick);
     MIB_ENSURE(std::isfinite(t_next), "fleet event loop stalled");
     MIB_ENSURE(t_next >= now - 1e-12, "fleet simulation time went backwards");
+    const double t_prev = now;
     now = std::max(now, t_next);
+    // Charge the elapsed slice to the view-disagreement clock while any
+    // two routers held different breaker snapshots.
+    plane.accumulate_disagreement(t_prev, now);
 
     // --- 3a. heartbeats emitted up to now (monitor mode) ---
     if (!oracle) {
@@ -511,10 +624,10 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       }
     }
 
-    // --- 3b. degradation transitions: reprice affected replicas ---
+    // --- 3b. degradation / warm-up transitions: reprice replicas ---
     for (int i = 0; i < pool; ++i) {
       const auto u = static_cast<std::size_t>(i);
-      const PerfScale scale = degr.at(i, now);
+      const PerfScale scale = scale_at(i, now);
       if (!(scale == cur_scale[u])) {
         cur_scale[u] = scale;
         reps[u].set_cost_model(degraded_costs_->at(scale));
@@ -525,6 +638,11 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     for (int i = 0; i < pool; ++i) {
       const auto u = static_cast<std::size_t>(i);
       const bool maint_now = in_maint_window(i, now);
+      // Layer-wise chunks stripe across the configured parallel links, so
+      // a transfer's wire time divides by the stripe width.
+      const double stripe_bytes =
+          kv_bytes_per_token /
+          static_cast<double>(cfg_.migration.stripe_links);
       if (maint_now && !in_maint[u]) {
         in_maint[u] = true;
         if (!oracle) {
@@ -532,15 +650,94 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
           next_hb[u] = kInf;
         }
         if (active[u]) {
-          double cursor = now;  // transfers serialize on the source NIC
+          double cursor = now;  // transfers serialize on the striped fabric
+          auto frozen_migrate = [&](Sequence s) {
+            const auto id = static_cast<std::size_t>(s.request_id);
+            const double xfer =
+                cfg_.migration.per_sequence_overhead_s +
+                migration_link.p2p(static_cast<double>(s.kv_tokens()) *
+                                   stripe_bytes);
+            cursor += xfer;
+            ++rep.migrations;
+            rep.migrated_kv_tokens += s.kv_tokens();
+            rep.migration_s.add(cursor - now);
+            rep.requests[id].migrated = true;
+            migrations.push_back(PendingMigration{cursor, s});
+          };
+          auto redispatch = [&](Sequence s) {
+            // Nothing resident to move (still queued), or recompute
+            // mode: progress is lost, re-dispatch right away — planned
+            // drains are front-end initiated, so no backoff and no
+            // retry-budget charge.
+            if (s.kv_tokens() > 0) ++rep.drain_evacuations;
+            s.prefilled = 0;
+            s.generated = 0;
+            s.first_token_s = -1.0;
+            s.prefix_hit = false;
+            retries.push_back(PendingRetry{now, s});
+          };
+          const bool overlap = cfg_.migration.overlap_decode &&
+                               cfg_.migration.migrate_kv &&
+                               reps[u].running_count() > 0;
+          if (overlap) {
+            // Overlap drain: queued work re-enters elsewhere right away;
+            // the running batch keeps decoding on the source while its KV
+            // snapshots copy out behind it (handoffs fire at each copy's
+            // completion and re-ship only the delta decoded meanwhile).
+            for (auto& s : reps[u].take_waiting()) {
+              MIB_ENSURE(!done[static_cast<std::size_t>(s.request_id)],
+                         "drained copy of a resolved request");
+              if (s.kv_tokens() > 0) {
+                frozen_migrate(std::move(s));  // migrated-in, not decoding
+              } else {
+                redispatch(std::move(s));
+              }
+            }
+            overlap_drain[u] = true;
+            for (const auto& s : reps[u].running()) {
+              MIB_ENSURE(!done[static_cast<std::size_t>(s.request_id)],
+                         "drained copy of a resolved request");
+              cursor += cfg_.migration.per_sequence_overhead_s +
+                        migration_link.p2p(
+                            static_cast<double>(s.kv_tokens()) * stripe_bytes);
+              handoffs.push_back(
+                  PendingHandoff{cursor, i, s.request_id, s.kv_tokens(), now});
+            }
+          } else {
+            for (auto& s : reps[u].take_all()) {
+              MIB_ENSURE(!done[static_cast<std::size_t>(s.request_id)],
+                         "drained copy of a resolved request");
+              if (cfg_.migration.migrate_kv && s.kv_tokens() > 0) {
+                frozen_migrate(std::move(s));
+              } else {
+                redispatch(std::move(s));
+              }
+            }
+          }
+        }
+      } else if (!maint_now && in_maint[u]) {
+        in_maint[u] = false;
+        if (overlap_drain[u]) {
+          // The reboot cannot wait for the copy any longer: cancel the
+          // in-flight snapshots, freeze what is still on the source, and
+          // ship it cold from here.
+          overlap_drain[u] = false;
+          for (auto it = handoffs.begin(); it != handoffs.end();) {
+            if (it->replica == i) {
+              it = handoffs.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          double cursor = now;
           for (auto& s : reps[u].take_all()) {
             const auto id = static_cast<std::size_t>(s.request_id);
             MIB_ENSURE(!done[id], "drained copy of a resolved request");
-            if (cfg_.migration.migrate_kv && s.kv_tokens() > 0) {
+            if (s.kv_tokens() > 0) {
               const double xfer =
                   cfg_.migration.per_sequence_overhead_s +
                   migration_link.p2p(static_cast<double>(s.kv_tokens()) *
-                                     kv_bytes_per_token);
+                                     stripe_bytes);
               cursor += xfer;
               ++rep.migrations;
               rep.migrated_kv_tokens += s.kv_tokens();
@@ -548,11 +745,6 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
               rep.requests[id].migrated = true;
               migrations.push_back(PendingMigration{cursor, s});
             } else {
-              // Nothing resident to move (still queued), or recompute
-              // mode: progress is lost, re-dispatch right away — planned
-              // drains are front-end initiated, so no backoff and no
-              // retry-budget charge.
-              if (s.kv_tokens() > 0) ++rep.drain_evacuations;
               s.prefilled = 0;
               s.generated = 0;
               s.first_token_s = -1.0;
@@ -561,8 +753,6 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
             }
           }
         }
-      } else if (!maint_now && in_maint[u]) {
-        in_maint[u] = false;
         if (!oracle && active[u]) {
           monitor.resume(i, now);
           next_hb[u] = now + hb_period(i, now);
@@ -621,6 +811,11 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       }
     }
 
+    // --- 3e'. routers whose sync deadline passed refresh their views ---
+    if (plane.stale_views()) {
+      plane.sync(now, [&](int i) { return live_routable(i, now); });
+    }
+
     // --- 3f. step completions (first finished copy wins) ---
     for (int i = 0; i < pool; ++i) {
       const auto u = static_cast<std::size_t>(i);
@@ -658,6 +853,54 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       }
     }
 
+    // --- 3g0. overlap-drain cutovers: snapshot copy done, ship the delta ---
+    {
+      std::vector<PendingHandoff> due;
+      for (auto it = handoffs.begin(); it != handoffs.end();) {
+        if (it->at <= now) {
+          due.push_back(*it);
+          it = handoffs.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::stable_sort(due.begin(), due.end(),
+                       [](const PendingHandoff& a, const PendingHandoff& b) {
+                         return std::tie(a.at, a.id) < std::tie(b.at, b.id);
+                       });
+      const double stripe_bytes =
+          kv_bytes_per_token /
+          static_cast<double>(cfg_.migration.stripe_links);
+      for (auto& h : due) {
+        const auto u = static_cast<std::size_t>(h.replica);
+        Sequence s;
+        // The sequence may have finished on the source meanwhile (the best
+        // outcome), crashed off it, or been cancelled as a hedge loser.
+        if (!reps[u].take(h.id, &s)) continue;
+        const auto id = static_cast<std::size_t>(h.id);
+        MIB_ENSURE(!done[id], "handed off a resolved request");
+        if (s.kv_tokens() == 0) {
+          // Preempted back to zero during the copy: nothing to cut over,
+          // the snapshot transfer was wasted — recompute elsewhere.
+          ++rep.drain_evacuations;
+          s.first_token_s = -1.0;
+          s.prefix_hit = false;
+          retries.push_back(PendingRetry{now, s});
+          continue;
+        }
+        const long long delta =
+            std::max<long long>(0, s.kv_tokens() - h.snapshot_kv);
+        rep.overlap_decode_tokens += delta;
+        const double ready =
+            now + migration_link.p2p(static_cast<double>(delta) * stripe_bytes);
+        ++rep.migrations;
+        rep.migrated_kv_tokens += s.kv_tokens();
+        rep.migration_s.add(ready - h.drain_start);
+        rep.requests[id].migrated = true;
+        migrations.push_back(PendingMigration{ready, s});
+      }
+    }
+
     // --- 3g. finished KV migrations re-enter service elsewhere ---
     {
       std::vector<PendingMigration> due;
@@ -682,6 +925,25 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
            intake[next_arrival].arrival_s <= now) {
       Sequence s = intake[next_arrival++];
       const auto id = static_cast<std::size_t>(s.request_id);
+      if (cfg_.hedge.enabled && cfg_.hedge.sheddable &&
+          queued_total() >= cfg_.admission.queue_capacity) {
+        // Queue full: shed waiting hedge copies before rejecting a
+        // primary — insurance yields to real work.
+        for (int r = 0;
+             r < pool && queued_total() >= cfg_.admission.queue_capacity;
+             ++r) {
+          const auto ru = static_cast<std::size_t>(r);
+          for (int hid : reps[ru].waiting_hedges()) {
+            // A hedge whose primary already expired or died carries the
+            // request alone now — shedding it would leak the request.
+            if (copies[static_cast<std::size_t>(hid)] <= 1) continue;
+            if (!reps[ru].cancel(hid)) continue;
+            --copies[static_cast<std::size_t>(hid)];
+            ++rep.hedges_shed;
+            if (queued_total() < cfg_.admission.queue_capacity) break;
+          }
+        }
+      }
       if (!admission.try_admit(queued_total())) {
         record_terminal(s, RequestStatus::kRejected);
         ++rep.rejected;
@@ -714,6 +976,36 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       for (auto& p : due) dispatch(std::move(p.seq), now);
     }
 
+    // --- 3i'. requests stranded at a dead router fail over ---
+    {
+      std::vector<RouterPending> due;
+      for (auto it = router_pending.begin(); it != router_pending.end();) {
+        if (it->ready_s <= now) {
+          due.push_back(*it);
+          it = router_pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::stable_sort(due.begin(), due.end(),
+                       [](const RouterPending& a, const RouterPending& b) {
+                         return std::tie(a.ready_s, a.seq.request_id) <
+                                std::tie(b.ready_s, b.seq.request_id);
+                       });
+      for (auto& p : due) {
+        const int rtr = plane.survivor(now);
+        if (rtr < 0) {
+          // The whole front end is dark: wait for any router to return.
+          const double wake = plane.next_router_transition_after(now);
+          MIB_ENSURE(std::isfinite(wake),
+                     "every router dark with no recovery scheduled");
+          router_pending.push_back(RouterPending{wake, std::move(p.seq)});
+          continue;
+        }
+        dispatch_via(rtr, std::move(p.seq), now);
+      }
+    }
+
     // --- 3j. hedge triggers: re-issue stragglers to a second replica ---
     while (!hedge_timers.empty() && hedge_timers.top().at <= now) {
       const int id = hedge_timers.top().id;
@@ -724,7 +1016,16 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       bool started = false;
       for (const auto& r : reps) started = started || r.started(id);
       if (started) continue;  // first token is out, nothing to hedge
-      auto up = routable_at(now);
+      if (cfg_.hedge.sheddable &&
+          queued_total() >= cfg_.admission.queue_capacity) {
+        // A hedge is optional work: it respects admission capacity and is
+        // refused outright when the fleet queue is already full.
+        ++rep.hedges_shed;
+        continue;
+      }
+      const int rtr = plane.survivor(now);
+      if (rtr < 0) continue;  // whole front end dark: no hedge
+      auto up = routable_for(rtr, now);
       // Never double up on a replica already holding a copy.
       up.erase(std::remove_if(up.begin(), up.end(),
                               [&](int r) {
@@ -735,10 +1036,18 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       if (up.empty()) continue;
       Sequence copy = blank[u];
       copy.is_hedge = true;
+      const int idx = plane.router(rtr).route(copy, reps, up);
+      if (!live_routable(idx, now)) {
+        MIB_ENSURE(plane.stale_views(),
+                   "dispatch to a replica with an open circuit");
+        ++rep.stale_dispatches;
+        // The hedge copy died on the wire against a dead node; the
+        // original carries the request alone.
+        if (!faults.up(idx, now)) continue;
+      }
       ++copies[u];
       ++rep.hedges_issued;
       rep.requests[u].hedged = true;
-      const int idx = router.route(copy, reps, up);
       reps[static_cast<std::size_t>(idx)].enqueue(copy);
     }
 
@@ -801,6 +1110,16 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   rep.throughput_tok_s = now > 0.0 ? total_tokens / now : 0.0;
   rep.slo = summarize_slo(rep.requests, cfg_.slo, now);
   rep.circuit_events = monitor.events();
+  // Correlated-failure signature: circuit opens clustered within one
+  // heartbeat interval of each other.
+  const auto bursts = detect_suspicion_bursts(
+      rep.circuit_events, cfg_.health.heartbeat_interval_s);
+  rep.suspicion_bursts = static_cast<int>(bursts.size());
+  for (const auto& b : bursts) {
+    rep.largest_suspicion_burst = std::max(rep.largest_suspicion_burst, b.size);
+  }
+  rep.warmup_recoveries = warmup_recoveries_;
+  rep.view_disagreement_s = plane.disagreement_s();
   int peak = 0;
   for (int i = 0; i < pool; ++i) {
     const auto u = static_cast<std::size_t>(i);
@@ -836,6 +1155,8 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   }
   MIB_ENSURE(retries.empty(), "retry queue leaked past the run");
   MIB_ENSURE(migrations.empty(), "migration queue leaked past the run");
+  MIB_ENSURE(router_pending.empty(),
+             "router fail-over queue leaked past the run");
   return rep;
 }
 

@@ -18,6 +18,19 @@
 // are hedged to a second replica, and planned maintenance drains a
 // replica by migrating its in-flight KV to peers over the datacenter
 // fabric instead of recomputing from scratch.
+//
+// Correlated failures and control-plane redundancy (PR 3): replicas
+// attach to a failure-domain tree (node -> rack -> switch -> zone) and
+// fault/degradation events injected at any domain take out everything
+// below it at once, so the detector sees a simultaneous suspicion burst
+// instead of independent opens. The front end itself is now N replicated
+// routers with eventually-consistent breaker views (requests strand at a
+// dead router until client fail-over; stale views cause measurable
+// mis-dispatches), recovered replicas ramp back through a short warm-up
+// window instead of returning at full speed, drains can stripe KV across
+// parallel links and overlap the copy with continued decode on the
+// source, and hedge copies respect admission capacity — shed first under
+// overload.
 #pragma once
 
 #include <vector>
@@ -28,6 +41,7 @@
 #include "engine/engine.h"
 #include "fleet/admission.h"
 #include "fleet/autoscaler.h"
+#include "fleet/control_plane.h"
 #include "fleet/degradation.h"
 #include "fleet/faults.h"
 #include "fleet/health.h"
@@ -36,6 +50,7 @@
 #include "fleet/replica.h"
 #include "fleet/router.h"
 #include "fleet/slo.h"
+#include "fleet/topology.h"
 #include "workload/arrivals.h"
 #include "workload/generator.h"
 
@@ -76,6 +91,17 @@ struct FleetConfig {
   std::vector<FaultWindow> faults;
   /// Brownouts: replicas running slow (throttle, ECC, contended fabric).
   std::vector<DegradationWindow> degradations;
+  /// Failure-domain tree the replicas attach to; empty = every replica is
+  /// its own isolated node (the PR 1/2 independence assumption).
+  TopologyConfig topology;
+  /// Correlated outages: every replica under the named domain goes down.
+  std::vector<DomainFault> domain_faults;
+  /// Correlated brownouts: every replica under the domain runs derated.
+  std::vector<DomainDegradation> domain_degradations;
+  /// Post-recovery warm-up ramp after fault / maintenance recovery edges.
+  WarmupConfig warmup;
+  /// Replicated front-end routers + view-sync staleness + router faults.
+  ControlPlaneConfig control;
   /// Planned outages, drained via KV migration or evacuate-and-recompute.
   std::vector<MaintenanceWindow> maintenance;
   MigrationConfig migration;
@@ -135,11 +161,33 @@ struct FleetReport {
   /// Failure until the front-end learned of it (circuit open or observed
   /// restart) — the cost of not having PR 1's oracle.
   Samples detection_lag_s;
+  long long hedges_shed = 0;       ///< hedge copies refused or dropped
+                                   ///< under admission pressure
   long long migrations = 0;            ///< sequences drain-migrated with KV
   long long migrated_kv_tokens = 0;
   Samples migration_s;                 ///< per-sequence KV transfer time
   long long drain_evacuations = 0;     ///< drained by recompute instead
+  /// Decode tokens produced on the source while its KV copy was already in
+  /// flight (the overlap-drain win; 0 with overlap_decode off).
+  long long overlap_decode_tokens = 0;
   std::vector<CircuitEvent> circuit_events;
+
+  // --- correlated failures & warm-up ---
+  int warmup_recoveries = 0;  ///< recovery edges that began a warm-up ramp
+  /// Suspicion bursts: >= 2 circuit opens within one heartbeat interval of
+  /// each other — the detector-side signature of a domain-level event.
+  int suspicion_bursts = 0;
+  int largest_suspicion_burst = 0;  ///< replicas in the biggest burst
+
+  // --- control plane ---
+  /// Requests that found their home router dead and paid the client-side
+  /// fail-over lag before re-entering at a survivor.
+  long long router_stranded = 0;
+  /// Dispatches made on a stale breaker view (the live state said the
+  /// replica was not routable).
+  long long stale_dispatches = 0;
+  /// Total time any two routers' breaker views disagreed.
+  double view_disagreement_s = 0.0;
 
   /// Replicas that executed at least one step (shows autoscaler growth).
   int replicas_used = 0;
@@ -158,6 +206,20 @@ class FleetSimulator {
   /// Provisioned pool (n_replicas, or the autoscaler ceiling if larger).
   int pool_size() const;
 
+  /// Fault schedule after domain events expanded over the topology
+  /// (interval-unioned with the explicit per-replica windows).
+  const std::vector<FaultWindow>& expanded_faults() const {
+    return faults_expanded_;
+  }
+  /// Degradation schedule after domain events expanded over the topology.
+  const std::vector<DegradationWindow>& expanded_degradations() const {
+    return degr_expanded_;
+  }
+  /// Warm-up staircase windows planned off the expanded fault schedule.
+  const std::vector<DegradationWindow>& warmup_windows() const {
+    return warmup_windows_;
+  }
+
   /// Serve a trace to resolution: every request completes, is rejected,
   /// expires, or is lost. Deterministic for a fixed seed.
   FleetReport run(const std::vector<FleetRequest>& trace) const;
@@ -167,6 +229,14 @@ class FleetSimulator {
   engine::LayerCostModel cost_;
   engine::MemoryModel mem_;
   long long kv_capacity_tokens_ = 0;
+  /// Domain events expanded into per-replica schedules (== the explicit
+  /// schedules when no topology is configured).
+  std::vector<FaultWindow> faults_expanded_;
+  std::vector<DegradationWindow> degr_expanded_;
+  /// Self-clearing post-recovery ramps, kept apart from the scheduled
+  /// brownouts and composed multiplicatively at query time.
+  std::vector<DegradationWindow> warmup_windows_;
+  int warmup_recoveries_ = 0;
   /// One LayerCostModel per distinct degradation scale (built after
   /// validation, hence the indirection).
   std::unique_ptr<DegradedCostPool> degraded_costs_;

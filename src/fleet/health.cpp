@@ -117,6 +117,33 @@ void HealthMonitor::resume(int replica, double t) {
   h.last_hb_s = t;
 }
 
+std::vector<SuspicionBurst> detect_suspicion_bursts(
+    const std::vector<CircuitEvent>& events, double window_s) {
+  MIB_ENSURE(window_s > 0.0, "burst window must be > 0");
+  std::vector<SuspicionBurst> bursts;
+  SuspicionBurst cur;
+  std::vector<int> members;
+  auto flush = [&] {
+    if (cur.size >= 2) bursts.push_back(cur);
+    cur = SuspicionBurst{};
+    members.clear();
+  };
+  for (const auto& e : events) {
+    if (e.to != CircuitState::kOpen) continue;
+    if (cur.size > 0 && e.t_s - cur.end_s > window_s) flush();
+    if (cur.size == 0) cur.start_s = e.t_s;
+    cur.end_s = e.t_s;
+    bool seen = false;
+    for (int m : members) seen = seen || m == e.replica;
+    if (!seen) {
+      members.push_back(e.replica);
+      ++cur.size;
+    }
+  }
+  flush();
+  return bursts;
+}
+
 double HealthMonitor::next_event_after(double t) const {
   double best = kInf;
   for (const auto& h : reps_) {

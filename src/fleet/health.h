@@ -119,4 +119,20 @@ class HealthMonitor {
   std::vector<CircuitEvent> events_;
 };
 
+/// A cluster of near-simultaneous circuit opens — the detector-side
+/// signature of a correlated (rack / switch / zone) failure, as opposed to
+/// independent replica crashes that open one breaker at a time.
+struct SuspicionBurst {
+  double start_s = 0.0;  ///< first open in the burst
+  double end_s = 0.0;    ///< last open in the burst
+  int size = 0;          ///< distinct replicas opened within the window
+};
+
+/// Group circuit-open events whose inter-arrival gap is <= window_s (one
+/// heartbeat interval is the natural choice) and keep groups that opened at
+/// least two distinct replicas. Events must be in timeline order, which is
+/// how the monitor records them.
+std::vector<SuspicionBurst> detect_suspicion_bursts(
+    const std::vector<CircuitEvent>& events, double window_s);
+
 }  // namespace mib::fleet

@@ -28,6 +28,11 @@ struct HedgeConfig {
   double min_delay_s = 0.02;
   /// Completed requests observed before adaptive hedging arms.
   int min_samples = 16;
+  /// true: hedge copies pass through the admission queue like everyone
+  /// else and are the first load shed under overload (a hedge is optional
+  /// work; primaries must not be rejected to make room for insurance).
+  /// false: hedges bypass admission entirely — the PR 2 behaviour.
+  bool sheddable = true;
 
   void validate() const {
     MIB_ENSURE(delay_s >= 0.0, "negative hedge delay");

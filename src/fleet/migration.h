@@ -41,12 +41,20 @@ struct MigrationConfig {
   hw::LinkSpec link = hw::ib_ndr400();
   /// Fixed per-sequence handoff cost (control-plane RPC, block table).
   double per_sequence_overhead_s = 0.002;
+  /// Parallel fabric links the drain can stripe KV transfers across (a
+  /// multi-NIC host). 1 = the single serialized NIC of PR 2.
+  int stripe_links = 1;
+  /// true: the source keeps decoding a sequence while its KV ships
+  /// layer-wise; only the delta produced during the copy is re-sent at the
+  /// cutover. false: the sequence freezes for the whole transfer (PR 2).
+  bool overlap_decode = false;
 
   void validate() const {
     MIB_ENSURE(link.bandwidth > 0.0, "migration link bandwidth must be > 0");
     MIB_ENSURE(link.latency >= 0.0, "negative migration link latency");
     MIB_ENSURE(per_sequence_overhead_s >= 0.0,
                "negative migration overhead");
+    MIB_ENSURE(stripe_links >= 1, "drain needs at least one stripe link");
   }
 };
 

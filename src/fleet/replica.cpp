@@ -60,6 +60,34 @@ bool Replica::cancel(int request_id) {
   return false;
 }
 
+bool Replica::take(int request_id, Sequence* out) {
+  MIB_ENSURE(out != nullptr, "take needs somewhere to put the sequence");
+  for (auto it = running_.begin(); it != running_.end(); ++it) {
+    if (it->request_id == request_id) {
+      *out = *it;
+      running_.erase(it);
+      admission_blocked_ = false;
+      return true;
+    }
+  }
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if (it->request_id == request_id) {
+      *out = *it;
+      waiting_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<int> Replica::waiting_hedges() const {
+  std::vector<int> ids;
+  for (const auto& s : waiting_) {
+    if (s.is_hedge) ids.push_back(s.request_id);
+  }
+  return ids;
+}
+
 long long Replica::outstanding_tokens() const {
   long long total = 0;
   for (const auto& s : waiting_) total += s.remaining_tokens();
@@ -263,6 +291,20 @@ std::vector<Sequence> Replica::take_all() {
   mid_step_ = false;
   admission_blocked_ = false;
   return out;
+}
+
+std::vector<Sequence> Replica::take_waiting() {
+  std::vector<Sequence> out(waiting_.begin(), waiting_.end());
+  waiting_.clear();
+  return out;
+}
+
+void Replica::finish_drain() {
+  MIB_ENSURE(running_.empty() && waiting_.empty(),
+             "finish_drain on a replica still holding work");
+  prefix_cache_.clear();
+  mid_step_ = false;
+  admission_blocked_ = false;
 }
 
 std::vector<Sequence> Replica::evacuate() {

@@ -83,6 +83,14 @@ class Replica {
   /// Remove the copy of `request_id` (hedge loser, resolved elsewhere).
   /// Its KV is freed immediately. Returns whether a copy was held.
   bool cancel(int request_id);
+  /// Remove the copy of `request_id` with progress *intact* (overlap-drain
+  /// handoff of one sequence). Returns whether a copy was held.
+  bool take(int request_id, Sequence* out);
+  /// request_ids of hedge copies still waiting (not yet in service) —
+  /// the shed-first pool under overload.
+  std::vector<int> waiting_hedges() const;
+  /// Read-only view of the running batch (overlap-drain scheduling).
+  const std::vector<Sequence>& running() const { return running_; }
 
   // --- stepping (driven by the fleet event loop) ---
   bool mid_step() const { return mid_step_; }
@@ -103,6 +111,13 @@ class Replica {
   /// migration to a peer. The replica ends empty and cold, like after a
   /// maintenance reboot.
   std::vector<Sequence> take_all();
+  /// Overlap drain, phase one: remove only the *waiting* sequences (no KV
+  /// resident yet) so they re-dispatch immediately while the running batch
+  /// keeps decoding under the background KV copy.
+  std::vector<Sequence> take_waiting();
+  /// Overlap drain, final: the replica is now empty; clear the prefix
+  /// cache and leave it cold, as after a maintenance reboot.
+  void finish_drain();
 
   // --- prefix cache ---
   bool prefix_warm(std::uint64_t hash) const {

@@ -49,6 +49,7 @@ struct RequestRecord {
   bool hedged = false;          ///< a second copy was issued
   bool won_by_hedge = false;    ///< the hedge copy finished first
   bool migrated = false;        ///< KV was drain-migrated at least once
+  bool router_failover = false;  ///< stranded at a dead router, re-entered
 
   bool completed() const { return status == RequestStatus::kCompleted; }
   double ttft() const { return first_token_s - arrival_s; }

@@ -41,6 +41,16 @@ void random_windows(Rng& rng, int replica, double horizon, int max_windows,
   }
 }
 
+/// rack0 = {replica 0, 1}, rack1 = {replica 2}, both under one zone.
+TopologyConfig chaos_topology() {
+  TopologyConfig tc;
+  tc.domains = {DomainSpec{"zone", ""}, DomainSpec{"rack0", "zone"},
+                DomainSpec{"rack1", "zone"}, DomainSpec{"n0", "rack0"},
+                DomainSpec{"n1", "rack0"}, DomainSpec{"n2", "rack1"}};
+  tc.replica_domain = {"n0", "n1", "n2"};
+  return tc;
+}
+
 /// One randomized chaos scenario, fully determined by `seed`.
 FleetConfig chaos_cfg(std::uint64_t seed) {
   Rng rng(seed);
@@ -50,23 +60,78 @@ FleetConfig chaos_cfg(std::uint64_t seed) {
   fc.n_replicas = 3;
   fc.seed = seed;
   fc.replica.max_batch = 8;
-  fc.admission.queue_capacity = 64;
+  // Occasionally starve the queue — paired with aggressive hedging so the
+  // sheddable-hedge path is actually taken somewhere in the sweep.
+  const bool tight_queue = rng.bernoulli(0.25);
+  fc.admission.queue_capacity = tight_queue ? 4 : 64;
   if (rng.bernoulli(0.3)) fc.admission.deadline_s = rng.uniform(0.5, 2.0);
   fc.retry.max_retries = static_cast<int>(rng.uniform_index(4));
   fc.retry.jitter = rng.bernoulli(0.5) ? rng.uniform(0.1, 1.0) : 0.0;
   fc.health.enabled = rng.bernoulli(0.8);  // a few runs keep the oracle
-  fc.hedge.enabled = rng.bernoulli(0.5);
-  fc.hedge.delay_s = rng.bernoulli(0.5) ? rng.uniform(0.05, 0.3) : 0.0;
+  fc.hedge.enabled = tight_queue || rng.bernoulli(0.5);
+  fc.hedge.delay_s = tight_queue ? rng.uniform(0.02, 0.08)
+                     : rng.bernoulli(0.5) ? rng.uniform(0.05, 0.3)
+                                          : 0.0;
+  fc.hedge.sheddable = tight_queue || rng.bernoulli(0.7);
   fc.migration.migrate_kv = rng.bernoulli(0.5);
+  fc.migration.stripe_links =
+      1 + static_cast<int>(rng.uniform_index(4));  // 1..4 lanes
+  fc.migration.overlap_decode = rng.bernoulli(0.5);
   const double horizon = 2.0;
+  // Correlated events over the rack topology, layered on the independent
+  // per-replica schedules below.
+  const bool topo = rng.bernoulli(0.6);
+  bool rack_degraded = false;
+  if (topo) {
+    fc.topology = chaos_topology();
+    if (rng.bernoulli(0.7)) {
+      const double start = rng.uniform(0.0, horizon * 0.6);
+      fc.domain_faults.push_back(
+          DomainFault{rng.bernoulli(0.7) ? "rack0" : "zone", start,
+                      start + rng.uniform(0.05, 0.4)});
+    }
+    if (rng.bernoulli(0.4)) {
+      // Domain degradations reject overlap with per-replica windows, so a
+      // rack-level brownout replaces rack0's independent ones this run.
+      rack_degraded = true;
+      DomainDegradation dd;
+      dd.domain = "rack0";
+      dd.start_s = rng.uniform(0.0, horizon * 0.6);
+      dd.end_s = dd.start_s + rng.uniform(0.05, 0.4);
+      dd.scale = PerfScale{rng.uniform(0.25, 1.0), rng.uniform(0.25, 1.0),
+                           rng.uniform(0.25, 1.0)};
+      fc.domain_degradations.push_back(dd);
+    }
+  }
+  fc.warmup.enabled = rng.bernoulli(0.5);
+  fc.warmup.duration_s = rng.uniform(0.1, 0.4);
+  fc.warmup.initial_scale = rng.uniform(0.3, 0.8);
+  fc.warmup.ramp_steps = 2 + static_cast<int>(rng.uniform_index(3));
+  // Replicated front end: sometimes 2 routers, sometimes with stale views
+  // and a router outage of its own.
+  if (rng.bernoulli(0.5)) {
+    fc.control.routers = 2;
+    if (rng.bernoulli(0.6)) {
+      fc.control.view_sync_interval_s = rng.uniform(0.05, 0.3);
+    }
+  }
+  if (rng.bernoulli(0.4)) {
+    const double start = rng.uniform(0.0, horizon * 0.5);
+    fc.control.router_faults.push_back(RouterFaultWindow{
+        static_cast<int>(rng.uniform_index(
+            static_cast<std::uint64_t>(fc.control.routers))),
+        start, start + rng.uniform(0.05, 0.3)});
+  }
   for (int i = 0; i < fc.n_replicas; ++i) {
     random_windows(rng, i, horizon, 2, fc.faults, [](FaultWindow&) {});
-    random_windows(rng, i, horizon, 2, fc.degradations,
-                   [&](DegradationWindow& w) {
-                     w.scale.flops = rng.uniform(0.25, 1.0);
-                     w.scale.mem_bw = rng.uniform(0.25, 1.0);
-                     w.scale.link_bw = rng.uniform(0.25, 1.0);
-                   });
+    if (!(rack_degraded && i < 2)) {
+      random_windows(rng, i, horizon, 2, fc.degradations,
+                     [&](DegradationWindow& w) {
+                       w.scale.flops = rng.uniform(0.25, 1.0);
+                       w.scale.mem_bw = rng.uniform(0.25, 1.0);
+                       w.scale.link_bw = rng.uniform(0.25, 1.0);
+                     });
+    }
     if (rng.bernoulli(0.4)) {
       random_windows(rng, i, horizon, 1, fc.maintenance,
                      [](MaintenanceWindow&) {});
@@ -128,6 +193,22 @@ void assert_invariants(const FleetConfig& cfg, const FleetReport& r) {
   if (!cfg.migration.migrate_kv) EXPECT_EQ(r.migrations, 0);
   EXPECT_GE(r.migrated_kv_tokens, r.migrations);  // >= 1 token each
   for (double s : r.migration_s.values()) EXPECT_GT(s, 0.0);
+  if (!cfg.migration.overlap_decode) EXPECT_EQ(r.overlap_decode_tokens, 0);
+  // Warm-up and burst accounting only exist when their features do.
+  if (!cfg.warmup.enabled) EXPECT_EQ(r.warmup_recoveries, 0);
+  EXPECT_EQ(r.suspicion_bursts > 0, r.largest_suspicion_burst >= 2);
+  // Control-plane metrics collapse to zero without redundancy at play.
+  const bool stale =
+      cfg.control.routers > 1 && cfg.control.view_sync_interval_s > 0.0;
+  if (!stale) {
+    EXPECT_EQ(r.stale_dispatches, 0);
+    EXPECT_DOUBLE_EQ(r.view_disagreement_s, 0.0);
+  }
+  if (cfg.control.router_faults.empty()) {
+    EXPECT_EQ(r.router_stranded, 0);
+    for (const auto& rec : r.requests) EXPECT_FALSE(rec.router_failover);
+  }
+  if (!cfg.hedge.enabled) EXPECT_EQ(r.hedges_shed, 0);
 }
 
 TEST(Chaos, InvariantsHoldAcrossRandomizedSchedules) {
@@ -147,6 +228,9 @@ TEST(Chaos, EveryFeatureExercisedSomewhereInTheSweep) {
   // hit the interesting machinery: failures detected by the monitor,
   // hedges issued, KV migrated, work retried.
   long long opens = 0, hedges = 0, migrations = 0, retries = 0, lost = 0;
+  long long shed = 0, overlap_tok = 0, stranded = 0, stale = 0;
+  long long warmups = 0, bursts = 0;
+  double disagreement = 0.0;
   for (std::uint64_t seed = 1; seed <= kChaosSeeds; ++seed) {
     const auto r = FleetSimulator(chaos_cfg(seed)).run(chaos_trace(seed));
     opens += r.circuit_opens;
@@ -154,12 +238,73 @@ TEST(Chaos, EveryFeatureExercisedSomewhereInTheSweep) {
     migrations += r.migrations;
     retries += r.retries;
     lost += r.lost;
+    shed += r.hedges_shed;
+    overlap_tok += r.overlap_decode_tokens;
+    stranded += r.router_stranded;
+    stale += r.stale_dispatches;
+    warmups += r.warmup_recoveries;
+    bursts += r.suspicion_bursts;
+    disagreement += r.view_disagreement_s;
   }
   EXPECT_GT(opens, 0);
   EXPECT_GT(hedges, 0);
   EXPECT_GT(migrations, 0);
   EXPECT_GT(retries, 0);
   EXPECT_GT(lost, 0);  // some seeds draw a zero retry budget
+  // PR 3 machinery must be hit too: shed hedges, overlapped drains,
+  // stranded requests at dead routers, stale dispatches, warm-up ramps and
+  // correlated suspicion bursts.
+  EXPECT_GT(shed, 0);
+  EXPECT_GT(overlap_tok, 0);
+  EXPECT_GT(stranded, 0);
+  EXPECT_GT(stale, 0);
+  EXPECT_GT(warmups, 0);
+  EXPECT_GT(bursts, 0);
+  EXPECT_GT(disagreement, 0.0);
+}
+
+TEST(Chaos, CorrelatedChaosSmoke) {
+  // CI fast path: a handful of seeds with every PR 3 feature forced on at
+  // once — rack topology, correlated faults, warm-up, two routers with
+  // stale views and a router outage, striped overlapped drains.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("smoke seed " + std::to_string(seed));
+    auto cfg = chaos_cfg(seed);
+    cfg.topology = chaos_topology();
+    // The burst assertion needs a clean rack-level down edge: no random
+    // per-replica outage may pre-open (or suspend) a rack0 breaker first,
+    // and no brownout may stretch one rack0 heartbeat ahead of the other
+    // (staggered detection would split the burst).
+    cfg.faults.clear();
+    cfg.degradations.clear();
+    cfg.domain_degradations.clear();
+    cfg.maintenance.clear();
+    cfg.maintenance.push_back(MaintenanceWindow{2, 1.2, 1.6});
+    cfg.domain_faults.clear();
+    cfg.domain_faults.push_back(DomainFault{"rack0", 0.5, 0.9});
+    cfg.warmup.enabled = true;
+    cfg.control.routers = 2;
+    cfg.control.view_sync_interval_s = 0.15;
+    cfg.control.router_faults.clear();
+    cfg.control.router_faults.push_back(RouterFaultWindow{0, 0.4, 1.0});
+    cfg.migration.migrate_kv = true;
+    cfg.migration.stripe_links = 2;
+    cfg.migration.overlap_decode = true;
+    cfg.health.enabled = true;
+    // Traffic must outlive the rack fault at [0.5, 0.9) or there is nothing
+    // left to detect it (the randomized chaos trace can end before t=0.5).
+    auto trace = as_fleet_trace(engine::make_uniform_batch(60, 192, 48));
+    workload::ArrivalConfig ac;
+    ac.rate_qps = 50.0;
+    ac.seed = seed ^ 0xA11CEull;
+    stamp_arrivals(ac, trace);
+    FleetReport r;
+    ASSERT_NO_THROW(r = FleetSimulator(cfg).run(trace));
+    assert_invariants(cfg, r);
+    EXPECT_GE(r.largest_suspicion_burst, 2);
+    EXPECT_EQ(r.warmup_recoveries > 0,
+              !FleetSimulator(cfg).warmup_windows().empty());
+  }
 }
 
 TEST(Chaos, DeterministicUnderChaos) {
