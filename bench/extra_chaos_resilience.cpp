@@ -24,7 +24,11 @@
 //       with a router outage and stale breaker views: stranded requests,
 //       stale dispatches, view disagreement and what they cost;
 //   (h) striped / overlapped drain — KV migration across 1-4 fabric lanes,
-//       with and without decode continuing on the source during the copy.
+//       with and without decode continuing on the source during the copy;
+//   (i) split-brain partition — router 1 + replica 2 cut off the majority
+//       for 1s; the minority serves on its frozen view, impatient clients
+//       re-enter at the majority (double dispatch), and the heal policy
+//       decides who wins: fence-the-minority vs first-commit-wins.
 #include <algorithm>
 #include <iostream>
 #include <string>
@@ -418,6 +422,58 @@ int main() {
     core::maybe_export_csv(t, "extra_chaos_drain_striping");
   }
 
+  // --- (i) split-brain partition: heal policies head to head ---
+  {
+    Table t("(i) Split-brain partition — 2 routers, 3 replicas; router 1 "
+            "and replica 2 partitioned off 0.2s-1.2s; clients give up on "
+            "the silent minority after 10ms and retry at the majority");
+    t.set_headers({"partition / heal", "double disp", "dup decode (s)",
+                   "fenced", "heal lag (s)", "autoscale conflicts",
+                   "p99 TTFT (s)", "attainment"});
+    struct Mode {
+      const char* name;
+      bool enabled;
+      fleet::HealPolicy heal;
+    };
+    for (const Mode m :
+         {Mode{"no partition (PR 3)", false, fleet::HealPolicy::kFenceMinority},
+          Mode{"fence-the-minority", true, fleet::HealPolicy::kFenceMinority},
+          Mode{"first-commit-wins", true,
+               fleet::HealPolicy::kFirstCommitWins}}) {
+      auto cfg = base_config(3);
+      cfg.replica.max_batch = 8;
+      cfg.retry.max_retries = 12;
+      cfg.control.routers = 2;
+      if (m.enabled) {
+        cfg.control.partition.enabled = true;
+        cfg.control.partition.heal = m.heal;
+        cfg.control.partition.client_retry_s = 0.01;
+        fleet::PartitionWindow w;
+        w.start_s = 0.2;
+        w.end_s = 1.2;
+        w.minority_routers = {1};
+        w.minority_replicas = {2};
+        cfg.control.partition.windows.push_back(w);
+      }
+      const auto r =
+          fleet::FleetSimulator(cfg).run(mixed_trace(256, 96.0, 31));
+      t.new_row()
+          .cell(m.name)
+          .cell(r.double_dispatches)
+          .cell(r.duplicate_decode_s, 4)
+          .cell(r.fenced_requests)
+          .cell(r.partition_heal_lag_s.count() > 0
+                    ? r.partition_heal_lag_s.max()
+                    : 0.0,
+                4)
+          .cell(r.autoscaler_conflicts)
+          .cell(r.ttft_s.p99(), 2)
+          .cell(r.slo.attainment, 3);
+    }
+    t.print(std::cout);
+    core::maybe_export_csv(t, "extra_chaos_partition");
+  }
+
   std::cout
       << "\nReading: (a) realistic detection pays a measurable lag and a "
          "dented tail vs the oracle, which is exactly the cost PR 1 could "
@@ -445,6 +501,14 @@ int main() {
          "both visible in the tail; (h) striping cuts the per-sequence "
          "transfer near-linearly and overlapping decode with the copy hides "
          "the remaining latency — the drained replica keeps earning tokens "
-         "while its KV ships.\n";
+         "while its KV ships; (i) a partition is worse than an outage of "
+         "the same span — the minority keeps accepting work it cannot "
+         "finish within the client's patience, so the fleet pays twice for "
+         "every double dispatch (duplicate decode seconds that goodput "
+         "never credits) and the two sides' autoscalers pull in different "
+         "directions; fencing drains the duplicates the instant the cut "
+         "heals, while first-commit-wins lets them race on — cheaper when "
+         "the minority copy is about to finish, pure waste when it is "
+         "not.\n";
   return 0;
 }

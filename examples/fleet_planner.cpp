@@ -158,22 +158,39 @@ int main() {
   Table ct("Blast radius for the " + std::to_string(fleet_n) +
            "-replica plan, placed round-robin in 2 racks (fault 2s-4s)");
   ct.set_headers({"incident", "bursts", "largest burst", "warm-ups",
-                  "stranded", "failovers", "attainment", "p99 TTFT (s)"});
+                  "stranded", "failovers", "double disp", "dup decode (s)",
+                  "attainment", "p99 TTFT (s)"});
   struct Incident {
     const char* name;
     bool rack;
     bool warmup;
     bool router_down;
+    bool partition;
   };
   for (const Incident inc :
-       {Incident{"one node (n0) crash", false, false, false},
-        Incident{"rack0 event", true, false, false},
-        Incident{"rack0 event + warm-up", true, true, false},
-        Incident{"rack0 event + router 0 dies", true, true, true}}) {
+       {Incident{"one node (n0) crash", false, false, false, false},
+        Incident{"rack0 event", true, false, false, false},
+        Incident{"rack0 event + warm-up", true, true, false, false},
+        Incident{"rack0 event + router 0 dies", true, true, true, false},
+        Incident{"rack0 partitioned off (split brain)", false, false, false,
+                 true}}) {
     auto fc = config_for(fleet_n);
     fc.topology = topo;
     fc.retry.jitter = 1.0;
-    if (inc.rack) {
+    if (inc.partition) {
+      // Not a crash: rack0's nodes keep serving behind the cut while the
+      // majority re-admits what rack0 cannot answer in time.
+      fc.control.routers = 2;
+      fc.control.partition.enabled = true;
+      fc.control.partition.client_retry_s = 0.02;
+      fc.retry.max_retries = 12;
+      fleet::PartitionWindow w;
+      w.start_s = 2.0;
+      w.end_s = 4.0;
+      w.minority_routers = {1};
+      for (int i = 0; i < fleet_n; i += 2) w.minority_replicas.push_back(i);
+      fc.control.partition.windows.push_back(w);
+    } else if (inc.rack) {
       fc.domain_faults.push_back(fleet::DomainFault{"rack0", 2.0, 4.0});
     } else {
       fc.faults.push_back(fleet::FaultWindow{0, 2.0, 4.0});
@@ -195,6 +212,8 @@ int main() {
         .cell(r.warmup_recoveries)
         .cell(r.router_stranded)
         .cell(failovers)
+        .cell(r.double_dispatches)
+        .cell(r.duplicate_decode_s, 3)
         .cell(r.slo.attainment, 3)
         .cell(r.ttft_s.p99(), 2);
   }
@@ -206,6 +225,11 @@ int main() {
                "The warm-up row charges the post-recovery cold-cache window, "
                "and the router row shows the plan riding through a "
                "simultaneous control-plane outage: stranded requests re-"
-               "enter at the surviving router after the detection lag.\n";
+               "enter at the surviving router after the detection lag. The "
+               "split-brain row is the subtle one: nothing crashed, yet the "
+               "fleet pays duplicate decode seconds for every request both "
+               "sides admitted — a partition turns spare capacity into "
+               "contended capacity exactly when half the fleet is already "
+               "unreachable.\n";
   return 0;
 }

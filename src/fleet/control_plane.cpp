@@ -18,7 +18,74 @@ std::vector<FaultWindow> as_fault_windows(
   return out;
 }
 
+bool contains(const std::vector<int>& v, int x) {
+  for (int e : v) {
+    if (e == x) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+const char* heal_policy_name(HealPolicy policy) {
+  switch (policy) {
+    case HealPolicy::kFenceMinority: return "fence-the-minority";
+    case HealPolicy::kFirstCommitWins: return "first-commit-wins";
+  }
+  return "unknown";
+}
+
+void PartitionWindow::validate() const {
+  MIB_ENSURE(start_s >= 0.0, "partition window starts before t=0");
+  MIB_ENSURE(end_s > start_s, "partition window must have positive duration");
+  MIB_ENSURE(!minority_routers.empty(),
+             "partition window needs at least one minority router");
+  for (std::size_t i = 0; i < minority_routers.size(); ++i) {
+    MIB_ENSURE(minority_routers[i] >= 0,
+               "partition window names a negative router");
+    for (std::size_t j = i + 1; j < minority_routers.size(); ++j) {
+      MIB_ENSURE(minority_routers[i] != minority_routers[j],
+                 "partition window lists router " << minority_routers[i]
+                                                  << " twice");
+    }
+  }
+  for (std::size_t i = 0; i < minority_replicas.size(); ++i) {
+    MIB_ENSURE(minority_replicas[i] >= 0,
+               "partition window names a negative replica");
+    for (std::size_t j = i + 1; j < minority_replicas.size(); ++j) {
+      MIB_ENSURE(minority_replicas[i] != minority_replicas[j],
+                 "partition window lists replica " << minority_replicas[i]
+                                                   << " twice");
+    }
+  }
+}
+
+void PartitionConfig::validate(int routers) const {
+  if (!enabled) {
+    MIB_ENSURE(windows.empty(),
+               "partition windows configured but partition.enabled is false");
+    return;
+  }
+  MIB_ENSURE(client_retry_s > 0.0, "partition client retry must be > 0");
+  for (const auto& w : windows) {
+    w.validate();
+    MIB_ENSURE(static_cast<int>(w.minority_routers.size()) < routers,
+               "partition minority must leave at least one majority router");
+    for (int r : w.minority_routers) {
+      MIB_ENSURE(r < routers,
+                 "partition names router " << r << " of " << routers);
+    }
+  }
+  // Overlapping partitions would make the side assignment ambiguous.
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    for (std::size_t j = i + 1; j < windows.size(); ++j) {
+      const auto& a = windows[i];
+      const auto& b = windows[j];
+      MIB_ENSURE(a.end_s <= b.start_s || b.end_s <= a.start_s,
+                 "overlapping partition windows");
+    }
+  }
+}
 
 ControlPlane::ControlPlane(const ControlPlaneConfig& cfg, RoutePolicy policy,
                            std::uint64_t seed, int pool)
@@ -57,9 +124,52 @@ int ControlPlane::survivor(double t) const {
   return -1;
 }
 
+const PartitionWindow* ControlPlane::partition_at(double t) const {
+  if (!partition_enabled()) return nullptr;
+  for (const auto& w : cfg_.partition.windows) {
+    if (t >= w.start_s && t < w.end_s) return &w;
+  }
+  return nullptr;
+}
+
+bool ControlPlane::router_minority(int r, double t) const {
+  const PartitionWindow* w = partition_at(t);
+  return w != nullptr && contains(w->minority_routers, r);
+}
+
+bool ControlPlane::replica_minority(int i, double t) const {
+  const PartitionWindow* w = partition_at(t);
+  return w != nullptr && contains(w->minority_replicas, i);
+}
+
+bool ControlPlane::reachable(int router, int replica, double t) const {
+  const PartitionWindow* w = partition_at(t);
+  if (w == nullptr) return true;
+  return contains(w->minority_routers, router) ==
+         contains(w->minority_replicas, replica);
+}
+
+int ControlPlane::majority_survivor(double t) const {
+  for (int r = 0; r < cfg_.routers; ++r) {
+    if (schedule_.up(r, t) && !router_minority(r, t)) return r;
+  }
+  return -1;
+}
+
+double ControlPlane::next_partition_transition_after(double t) const {
+  double best = std::numeric_limits<double>::infinity();
+  if (!partition_enabled()) return best;
+  for (const auto& w : cfg_.partition.windows) {
+    if (w.start_s > t) best = std::min(best, w.start_s);
+    if (w.end_s > t) best = std::min(best, w.end_s);
+  }
+  return best;
+}
+
 void ControlPlane::sync(double now, const std::function<bool(int)>& live_ok) {
   for (int r = 0; r < cfg_.routers; ++r) {
     const auto u = static_cast<std::size_t>(r);
+    if (frozen_view(r, now)) continue;  // cut off from the sync channel
     if (stale_views()) {
       if (next_sync_[u] > now) continue;
       while (next_sync_[u] <= now) next_sync_[u] += cfg_.view_sync_interval_s;
@@ -80,7 +190,11 @@ double ControlPlane::next_sync_after(double t) const {
 }
 
 void ControlPlane::accumulate_disagreement(double from, double to) {
-  if (!stale_views() || to <= from) return;
+  if (to <= from) return;
+  // Views can differ under staggered syncs, or against a minority view
+  // frozen by an active partition (event slices never straddle a
+  // partition edge, so the side assignment at `from` covers the slice).
+  if (!stale_views() && partition_at(from) == nullptr) return;
   for (std::size_t r = 1; r < views_.size(); ++r) {
     if (views_[r] != views_[0]) {
       disagreement_s_ += to - from;

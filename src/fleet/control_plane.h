@@ -22,6 +22,19 @@
 //
 // With routers = 1 and no router faults the plane collapses to the PR 1/2
 // behaviour bit-for-bit: one router, live view, no stranding.
+//
+// Network partitions (PR 4): a PartitionWindow splits the plane into a
+// majority and a minority side for [start_s, end_s). The minority routers
+// (and optionally a slice of replicas cut off with them) keep serving on
+// the breaker view they held when the partition started — they do not
+// fail over, they diverge. A minority-homed request the minority side
+// cannot answer within the client's retry patience is re-admitted on the
+// majority side too (split-brain double dispatch); at heal time a
+// configurable policy resolves the divergence: fence-the-minority cancels
+// every duplicate copy the minority still holds (KV freed), while
+// first-commit-wins lets both copies race to completion and cancels the
+// loser. With partition.enabled = false the plane is bitwise-identical to
+// the PR 3 behaviour.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +60,46 @@ struct RouterFaultWindow {
   }
 };
 
+/// How the plane resolves split-brain state when a partition heals.
+enum class HealPolicy {
+  /// Cancel every duplicate copy still held on the minority side; its KV
+  /// is freed and the majority copy carries the request alone.
+  kFenceMinority,
+  /// Let both copies race; the first to complete commits the request and
+  /// the straggling duplicate is cancelled at that point.
+  kFirstCommitWins,
+};
+
+const char* heal_policy_name(HealPolicy policy);
+
+/// One network partition: for [start_s, end_s) the named routers (and,
+/// optionally, replicas) form the minority side; everything else is the
+/// majority. Routers can only reach replicas on their own side, and the
+/// minority routers stop receiving view syncs — they route on the breaker
+/// view frozen at the cut.
+struct PartitionWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::vector<int> minority_routers;
+  /// Replicas cut off with the minority side (may be empty: the minority
+  /// router then keeps admitting but can dispatch nowhere).
+  std::vector<int> minority_replicas;
+
+  void validate() const;
+};
+
+struct PartitionConfig {
+  bool enabled = false;
+  /// Client patience before a minority-homed request, still without a
+  /// first token, is re-admitted on the majority side (the double
+  /// dispatch). Measured from the dispatch at the minority router.
+  double client_retry_s = 0.1;
+  HealPolicy heal = HealPolicy::kFenceMinority;
+  std::vector<PartitionWindow> windows;
+
+  void validate(int routers) const;
+};
+
 struct ControlPlaneConfig {
   int routers = 1;
   /// Seconds between a router's snapshots of breaker state; 0 = every
@@ -56,6 +109,8 @@ struct ControlPlaneConfig {
   /// surviving one.
   double failover_detection_s = 0.05;
   std::vector<RouterFaultWindow> router_faults;
+  /// Network partitions that split the plane into majority/minority sides.
+  PartitionConfig partition;
 
   void validate() const {
     MIB_ENSURE(routers >= 1, "control plane needs at least one router");
@@ -76,6 +131,7 @@ struct ControlPlaneConfig {
                    "overlapping fault windows for router " << a.router);
       }
     }
+    partition.validate(routers);
   }
 };
 
@@ -102,13 +158,38 @@ class ControlPlane {
     return schedule_.next_transition_after(t);
   }
 
+  /// Whether partitions are configured at all (windows may still be
+  /// outside [0, makespan]). False keeps every partition path cold.
+  bool partition_enabled() const {
+    return cfg_.partition.enabled && !cfg_.partition.windows.empty();
+  }
+  /// The partition window active at t, or nullptr.
+  const PartitionWindow* partition_at(double t) const;
+  /// Whether router r sits on the minority side of an active partition.
+  bool router_minority(int r, double t) const;
+  /// Whether replica i is cut off with the minority side at t.
+  bool replica_minority(int i, double t) const;
+  /// Whether router r can reach replica i at t (same partition side;
+  /// always true outside a partition window).
+  bool reachable(int router, int replica, double t) const;
+  /// A minority router's view is frozen for the partition's duration: it
+  /// receives no syncs and routes on the snapshot it held at the cut.
+  bool frozen_view(int router, double t) const {
+    return router_minority(router, t);
+  }
+  /// Lowest-index live majority-side router at t, or -1.
+  int majority_survivor(double t) const;
+  /// Earliest partition start/end edge strictly after t, or +infinity.
+  double next_partition_transition_after(double t) const;
+
   /// Whether routers hold independently aging views (vs one live view).
   bool stale_views() const {
     return cfg_.routers > 1 && cfg_.view_sync_interval_s > 0.0;
   }
   /// Refresh every view whose sync deadline has passed (all views, when
   /// the sync interval is 0). `live_ok(i)` is the ground-truth breaker /
-  /// oracle routability of replica i at `now`.
+  /// oracle routability of replica i at `now`. Minority routers of an
+  /// active partition are skipped — their views stay frozen at the cut.
   void sync(double now, const std::function<bool(int)>& live_ok);
   /// Earliest view-sync deadline strictly after t (+inf with live views).
   double next_sync_after(double t) const;

@@ -132,6 +132,12 @@ void FleetConfig::validate() const {
                                      << w.replica << " outside the pool of "
                                      << pool);
   }
+  for (const auto& w : control.partition.windows) {
+    for (int r : w.minority_replicas) {
+      MIB_ENSURE(r < pool, "partition window names replica "
+                               << r << " outside the pool of " << pool);
+    }
+  }
 }
 
 FleetSimulator::FleetSimulator(FleetConfig cfg)
@@ -226,6 +232,9 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   // query time.
   const DegradationSchedule warm(warmup_windows_);
   ControlPlane plane(cfg_.control, cfg_.policy, cfg_.seed, pool);
+  // Every split-brain path below is gated on this: with no partition
+  // windows configured the run is bitwise-identical to the PR 3 loop.
+  const bool partitions = plane.partition_enabled();
   AdmissionController admission(cfg_.admission);
   const Autoscaler scaler(cfg_.autoscaler);
   HealthMonitor monitor(cfg_.health, pool);
@@ -278,8 +287,8 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
 
   // Per-request resolution and copy accounting. `copies[id]` counts live
   // copies of a request anywhere in the system (replica queues, retry
-  // holds, stranded lists, migrations); hedging is the only way it
-  // exceeds 1.
+  // holds, stranded lists, migrations); hedging and split-brain double
+  // dispatch are the only ways it exceeds 1.
   std::vector<char> done(n, 0);
   std::vector<int> copies(n, 0);
   struct HedgeTimer {
@@ -289,6 +298,23 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   };
   std::priority_queue<HedgeTimer> hedge_timers;
   std::vector<char> hedge_fired(n, 0);
+
+  // Split-brain state: the client's retry patience arms one timer per
+  // minority-homed dispatch; when it fires with the partition still up and
+  // no first token out, the majority admits a duplicate copy.
+  struct DupTimer {
+    double at = 0.0;
+    int id = -1;
+    bool operator<(const DupTimer& o) const { return at > o.at; }  // min-heap
+  };
+  std::priority_queue<DupTimer> dup_timers;
+  std::vector<char> dup_armed(n, 0);
+  /// Requests ever double-dispatched (heal-lag drain scan).
+  std::vector<int> dup_ids;
+  /// Heal edges whose duplicates have not all resolved yet.
+  std::vector<double> pending_heals;
+  const PartitionWindow* active_part =
+      partitions ? plane.partition_at(0.0) : nullptr;
 
   // Heartbeats and degradation state.
   std::vector<double> next_hb(static_cast<std::size_t>(pool), kInf);
@@ -324,6 +350,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   }
   max_steps = std::max<long long>(max_steps, 1024) * 4 *
               (1 + cfg_.retry.max_retries) * (cfg_.hedge.enabled ? 2 : 1) *
+              (partitions ? 2 : 1) *
               (1 + static_cast<long long>(cfg_.maintenance.size()));
 
   auto total_steps = [&] {
@@ -338,16 +365,20 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     return oracle ? faults.up(i, t) : monitor.routable(i);
   };
   // What router `rtr` believes is routable: its (possibly stale) breaker
-  // view when views age independently, the live truth otherwise. The
+  // view when views age independently, the live truth otherwise. A
+  // partitioned minority router routes on the view frozen at the cut and
+  // can only reach replicas on its own side. The
   // active/draining/maintenance gates are front-end-initiated state every
   // router knows instantly.
   auto routable_for = [&](int rtr, double t) {
     std::vector<int> up;
+    const bool frozen = partitions && plane.frozen_view(rtr, t);
     for (int i = 0; i < pool; ++i) {
       const auto u = static_cast<std::size_t>(i);
       if (!active[u] || draining[u] || in_maint[u]) continue;
-      const bool ok =
-          plane.stale_views() ? plane.view_ok(rtr, i) : live_routable(i, t);
+      if (partitions && !plane.reachable(rtr, i, t)) continue;
+      const bool ok = (plane.stale_views() || frozen) ? plane.view_ok(rtr, i)
+                                                      : live_routable(i, t);
       if (ok) up.push_back(i);
     }
     return up;
@@ -384,6 +415,27 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     rec.had_prefix = s.prefix_hash != 0;
     ++resolved;
   };
+  // Price the waste when a copy of a double-dispatched request is removed:
+  // whatever replica time it consumed served nobody, but the fleet paid
+  // for it. A no-op for everything else (hedges keep their own counters).
+  auto charge_duplicate = [&](const Sequence& s) {
+    if (rep.requests[static_cast<std::size_t>(s.request_id)]
+            .double_dispatched) {
+      rep.duplicate_decode_s += s.served_s;
+    }
+  };
+  // Loser-copy accounting: split-brain duplicates are priced as waste,
+  // everything else counts toward hedges_cancelled as before. (Never both:
+  // a double-dispatched request's copies would otherwise push the hedge
+  // counter past hedges_issued.)
+  auto count_cancelled = [&](const Sequence& s) {
+    if (rep.requests[static_cast<std::size_t>(s.request_id)]
+            .double_dispatched) {
+      rep.duplicate_decode_s += s.served_s;
+    } else {
+      ++rep.hedges_cancelled;
+    }
+  };
   auto dispatch_via = [&](int rtr, Sequence seq, double t) {
     const auto up = routable_for(rtr, t);
     if (up.empty()) {
@@ -396,6 +448,11 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       if (!oracle) wake = std::min(wake, monitor.next_event_after(t));
       wake = std::min(wake, plane.next_sync_after(t));
       wake = std::min(wake, plane.next_router_transition_after(t));
+      // A partition edge changes reachability (a minority router with no
+      // same-side replica parks exactly until the heal).
+      if (partitions) {
+        wake = std::min(wake, plane.next_partition_transition_after(t));
+      }
       if (cfg_.autoscaler.enabled) {
         wake = std::min(wake, next_tick > t
                                   ? next_tick
@@ -409,9 +466,10 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     }
     const int idx = plane.router(rtr).route(seq, reps, up);
     if (!live_routable(idx, t)) {
-      // Only a stale breaker view can pick a replica the live state has
-      // already fenced off.
-      MIB_ENSURE(plane.stale_views(),
+      // Only a stale breaker view — aged out under staggered syncs or
+      // frozen on the minority side of a partition — can pick a replica
+      // the live state has already fenced off.
+      MIB_ENSURE(plane.stale_views() || (partitions && plane.frozen_view(rtr, t)),
                  "dispatch to a replica with an open circuit");
       ++rep.stale_dispatches;
       if (!faults.up(idx, t)) {
@@ -429,6 +487,30 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   };
   auto dispatch = [&](Sequence seq, double t) {
     const int home = plane.assigned_router(seq.request_id);
+    if (partitions) {
+      const auto u = static_cast<std::size_t>(seq.request_id);
+      if (seq.is_partition_dup) {
+        // The duplicate is the client's majority-side retry: while the
+        // partition holds it re-enters at a majority router, never back
+        // at its cut-off home.
+        if (plane.partition_at(t) != nullptr) {
+          const int rtr = plane.majority_survivor(t);
+          if (rtr >= 0) {
+            dispatch_via(rtr, std::move(seq), t);
+            return;
+          }
+          // No live majority router: fall through to the home-router
+          // stranding machinery below.
+        }
+      } else if (!dup_armed[u] && plane.router_minority(home, t)) {
+        // Minority-homed dispatch during a partition: the client's retry
+        // patience starts ticking toward a majority-side double dispatch.
+        dup_armed[u] = 1;
+        dup_timers.push(
+            DupTimer{t + cfg_.control.partition.client_retry_s,
+                     seq.request_id});
+      }
+    }
     if (!plane.router_up(home, t)) {
       // Home router dead: the request strands client-side until the
       // fail-over timeout fires, then re-enters at a survivor.
@@ -450,17 +532,22 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     const auto u = static_cast<std::size_t>(id);
     if (copies[u] <= 1) return;
     for (int r = 0; r < pool; ++r) {
-      while (copies[u] > 1 && reps[static_cast<std::size_t>(r)].cancel(id)) {
+      // A cancel cannot cross an active partition: a stray copy on a
+      // cut-off minority replica keeps burning until the heal fences it
+      // (or until it completes as a photo-finish loser).
+      if (partitions && plane.replica_minority(r, now)) continue;
+      Sequence s;
+      while (copies[u] > 1 && reps[static_cast<std::size_t>(r)].take(id, &s)) {
         --copies[u];
-        ++rep.hedges_cancelled;
+        count_cancelled(s);
       }
     }
     auto drop_from = [&](auto& list) {
       for (auto it = list.begin(); it != list.end();) {
         if (it->seq.request_id == id) {
+          count_cancelled(it->seq);
           it = list.erase(it);
           --copies[u];
-          ++rep.hedges_cancelled;
         } else {
           ++it;
         }
@@ -472,9 +559,9 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     for (auto& list : stranded) {
       for (auto it = list.begin(); it != list.end();) {
         if (it->request_id == id) {
+          count_cancelled(*it);
           it = list.erase(it);
           --copies[u];
-          ++rep.hedges_cancelled;
         } else {
           ++it;
         }
@@ -493,6 +580,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     for (auto& s : work) {
       const auto id = static_cast<std::size_t>(s.request_id);
       if (done[id] || copies[id] > 1) {
+        charge_duplicate(s);
         --copies[id];  // another copy carries the request (or it's over)
         continue;
       }
@@ -537,6 +625,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
         const auto id = static_cast<std::size_t>(s.request_id);
         MIB_ENSURE(!done[id], "expired copy of a resolved request");
         if (copies[id] > 1) {
+          charge_duplicate(s);
           --copies[id];  // the other copy still carries the request
           continue;
         }
@@ -601,6 +690,10 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     if (!hedge_timers.empty()) {
       t_next = std::min(t_next, hedge_timers.top().at);
     }
+    if (partitions) {
+      t_next = std::min(t_next, plane.next_partition_transition_after(now));
+      if (!dup_timers.empty()) t_next = std::min(t_next, dup_timers.top().at);
+    }
     if (cfg_.autoscaler.enabled) t_next = std::min(t_next, next_tick);
     MIB_ENSURE(std::isfinite(t_next), "fleet event loop stalled");
     MIB_ENSURE(t_next >= now - 1e-12, "fleet simulation time went backwards");
@@ -616,7 +709,11 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
         const auto u = static_cast<std::size_t>(i);
         while (next_hb[u] <= now) {
           const double emit = next_hb[u];
-          if (active[u] && !in_maint[u] && faults.up(i, emit)) {
+          // A minority replica's heartbeats cannot cross the partition:
+          // the (majority-side) monitor will suspect it and open its
+          // breaker even though it is up and serving its own side.
+          if (active[u] && !in_maint[u] && faults.up(i, emit) &&
+              !(partitions && plane.replica_minority(i, emit))) {
             monitor.on_heartbeat(i, emit);
           }
           next_hb[u] = emit + hb_period(i, emit);
@@ -812,8 +909,47 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     }
 
     // --- 3e'. routers whose sync deadline passed refresh their views ---
-    if (plane.stale_views()) {
+    // With partitions configured, views refresh every event (so a minority
+    // router freezes exactly the pre-cut live state); sync() itself skips
+    // frozen routers.
+    if (plane.stale_views() || partitions) {
       plane.sync(now, [&](int i) { return live_routable(i, now); });
+    }
+
+    // --- 3e''. partition edges: heal the split brain ---
+    if (partitions) {
+      const PartitionWindow* cur = plane.partition_at(now);
+      if (cur != active_part) {
+        if (active_part != nullptr) {
+          // The partition healed: resolve the divergence. Stray copies of
+          // already-committed requests are cancelled under either policy
+          // (their KV freed); still-racing duplicates are fenced off the
+          // minority side under kFenceMinority, or left to race under
+          // kFirstCommitWins.
+          const bool fence =
+              cfg_.control.partition.heal == HealPolicy::kFenceMinority;
+          for (int i : active_part->minority_replicas) {
+            const auto u = static_cast<std::size_t>(i);
+            for (int id : reps[u].resident_ids()) {
+              const auto v = static_cast<std::size_t>(id);
+              const bool stray = done[v] != 0;
+              if (!stray && !(fence && copies[v] > 1)) continue;
+              Sequence s;
+              if (!reps[u].take(id, &s)) continue;
+              --copies[v];
+              if (stray) {
+                count_cancelled(s);  // deferred loser-copy cancel
+              } else {
+                charge_duplicate(s);
+                ++rep.fenced_requests;
+                rep.requests[v].fenced = true;
+              }
+            }
+          }
+          pending_heals.push_back(now);
+        }
+        active_part = cur;
+      }
     }
 
     // --- 3f. step completions (first finished copy wins) ---
@@ -830,7 +966,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
           // photo-finish loser, cancelled at the completion boundary.
           MIB_ENSURE(copies[id] > 0, "completed copy of a resolved request");
           --copies[id];
-          ++rep.hedges_cancelled;
+          count_cancelled(s);
           continue;
         }
         auto& rec = rep.requests[id];
@@ -1023,7 +1159,12 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
         ++rep.hedges_shed;
         continue;
       }
-      const int rtr = plane.survivor(now);
+      int rtr = plane.survivor(now);
+      // Hedges are optional insurance: during a partition they are issued
+      // against the healthy (majority) side only.
+      if (partitions && plane.partition_at(now) != nullptr) {
+        rtr = plane.majority_survivor(now);
+      }
       if (rtr < 0) continue;  // whole front end dark: no hedge
       auto up = routable_for(rtr, now);
       // Never double up on a replica already holding a copy.
@@ -1051,50 +1192,140 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       reps[static_cast<std::size_t>(idx)].enqueue(copy);
     }
 
+    // --- 3j'. client retries against the majority: double dispatch ---
+    // A minority-homed request whose first token has not arrived within
+    // the client's patience is re-submitted, and the majority side — which
+    // cannot see the minority's copy — admits it again. Both sides now
+    // burn capacity on the same request; goodput will count it once.
+    while (partitions && !dup_timers.empty() && dup_timers.top().at <= now) {
+      const int id = dup_timers.top().id;
+      dup_timers.pop();
+      const auto u = static_cast<std::size_t>(id);
+      if (done[u]) continue;
+      if (plane.partition_at(now) == nullptr) continue;  // healed in time
+      if (!plane.router_minority(plane.assigned_router(id), now)) continue;
+      bool started = false;
+      for (const auto& r : reps) started = started || r.started(id);
+      if (started) continue;  // tokens are flowing to the client
+      // The retry is real client traffic, but the majority only admits it
+      // if its own queues have room.
+      long long maj_queued = 0;
+      for (int i = 0; i < pool; ++i) {
+        if (plane.replica_minority(i, now)) continue;
+        maj_queued += reps[static_cast<std::size_t>(i)].queue_depth();
+      }
+      if (maj_queued >= cfg_.admission.queue_capacity) continue;
+      const int rtr = plane.majority_survivor(now);
+      if (rtr < 0) continue;  // no live majority router to retry against
+      Sequence copy = blank[u];
+      copy.is_partition_dup = true;
+      ++copies[u];
+      ++rep.double_dispatches;
+      rep.requests[u].double_dispatched = true;
+      dup_ids.push_back(id);
+      dispatch_via(rtr, std::move(copy), now);
+    }
+
     // --- 3k. autoscaler tick ---
     while (cfg_.autoscaler.enabled && next_tick <= now) {
-      const long long queued = queued_total();
-      int n_active = 0;
-      bool any_idle = false;
-      for (int i = 0; i < pool; ++i) {
-        const auto u = static_cast<std::size_t>(i);
-        if (!active[u] || draining[u]) continue;
-        ++n_active;
-        if (!reps[u].mid_step() && !reps[u].has_work()) any_idle = true;
-      }
-      const int decision = scaler.decide(queued, n_active, any_idle);
-      if (decision > 0) {
+      // During a partition each side's autoscaler sees only its own queues
+      // and replicas, and can only act on its own side — the decisions can
+      // (and do) conflict. `side` < 0 is the unified, no-partition view.
+      auto tick_side = [&](int side) {
+        auto on_side = [&](int i) {
+          return side < 0 ||
+                 (plane.replica_minority(i, now) ? side == 1 : side == 0);
+        };
+        long long queued = 0;
+        int n_active = 0;
+        bool any_idle = false;
         for (int i = 0; i < pool; ++i) {
           const auto u = static_cast<std::size_t>(i);
-          // Activation health-checks the standby (a probe, not routing).
-          if (!active[u] && !in_maint[u] && faults.up(i, now)) {
-            active[u] = true;
-            if (!oracle) {
-              monitor.resume(i, now);
-              next_hb[u] = now + hb_period(i, now);
+          if (!on_side(i)) continue;
+          queued += reps[u].queue_depth();
+          if (!active[u] || draining[u]) continue;
+          ++n_active;
+          if (!reps[u].mid_step() && !reps[u].has_work()) any_idle = true;
+        }
+        const int decision = scaler.decide(queued, n_active, any_idle);
+        if (decision > 0) {
+          for (int i = 0; i < pool; ++i) {
+            const auto u = static_cast<std::size_t>(i);
+            // Activation health-checks the standby (a probe, not routing).
+            if (on_side(i) && !active[u] && !in_maint[u] && faults.up(i, now)) {
+              active[u] = true;
+              if (!oracle) {
+                monitor.resume(i, now);
+                next_hb[u] = now + hb_period(i, now);
+              }
+              rep.scale_events.push_back(
+                  ScaleEvent{now, "add", i, queued, n_active + 1});
+              break;
             }
-            rep.scale_events.push_back(
-                ScaleEvent{now, "add", i, queued, n_active + 1});
-            break;
+          }
+        } else if (decision < 0) {
+          for (int i = pool - 1; i >= 0; --i) {
+            const auto u = static_cast<std::size_t>(i);
+            if (on_side(i) && active[u] && !draining[u] &&
+                !reps[u].mid_step() && !reps[u].has_work()) {
+              draining[u] = true;
+              rep.scale_events.push_back(
+                  ScaleEvent{now, "drain", i, queued, n_active - 1});
+              break;
+            }
           }
         }
-      } else if (decision < 0) {
-        for (int i = pool - 1; i >= 0; --i) {
-          const auto u = static_cast<std::size_t>(i);
-          if (active[u] && !draining[u] && !reps[u].mid_step() &&
-              !reps[u].has_work()) {
-            draining[u] = true;
-            rep.scale_events.push_back(
-                ScaleEvent{now, "drain", i, queued, n_active - 1});
-            break;
-          }
-        }
+        return decision;
+      };
+      if (partitions && plane.partition_at(now) != nullptr) {
+        const int d_major = tick_side(0);
+        const int d_minor = tick_side(1);
+        if (d_major != d_minor) ++rep.autoscaler_conflicts;
+      } else {
+        tick_side(-1);
       }
       next_tick += cfg_.autoscaler.interval_s;
     }
 
+    // Heal-lag bookkeeping: a heal is fully drained when no request holds
+    // more than one live copy any more (fence drains at the heal edge;
+    // first-commit-wins drains when the last race resolves).
+    if (!pending_heals.empty()) {
+      bool racing = false;
+      for (int id : dup_ids) {
+        const auto u = static_cast<std::size_t>(id);
+        if (!done[u] && copies[u] > 1) {
+          racing = true;
+          break;
+        }
+      }
+      if (!racing) {
+        for (double h : pending_heals) {
+          rep.partition_heal_lag_s.add(std::max(0.0, now - h));
+        }
+        pending_heals.clear();
+      }
+    }
+
     MIB_ENSURE(total_steps() <= max_steps,
                "fleet exceeded its step bound (livelock?)");
+  }
+
+  // A partition window can outlive the traffic: stray duplicate copies
+  // still cut off on the minority side are cancelled at end of run (every
+  // request is already resolved — these served nobody).
+  if (partitions) {
+    for (int i = 0; i < pool; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      for (int id : reps[u].resident_ids()) {
+        MIB_ENSURE(done[static_cast<std::size_t>(id)],
+                   "unresolved request still resident at end of run");
+        Sequence s;
+        if (!reps[u].take(id, &s)) continue;
+        count_cancelled(s);
+        --copies[static_cast<std::size_t>(id)];
+      }
+    }
   }
 
   // --- report assembly ---

@@ -31,6 +31,16 @@
 // parallel links and overlap the copy with continued decode on the
 // source, and hedge copies respect admission capacity — shed first under
 // overload.
+//
+// Partition tolerance (PR 4): a network partition
+// (control.partition.windows) splits routers and a slice of replicas into
+// majority/minority sides. The minority keeps serving on its frozen
+// breaker view — genuine split-brain, not benign staleness: minority-homed
+// requests the cut-off side cannot answer in time are re-admitted by the
+// majority (double dispatch), duplicate decode burns fleet capacity that
+// goodput never credits, each side's autoscaler signal diverges, and at
+// heal time a configurable policy (fence-the-minority or
+// first-commit-wins) drains the duplicates and frees their KV.
 #pragma once
 
 #include <vector>
@@ -188,6 +198,24 @@ struct FleetReport {
   long long stale_dispatches = 0;
   /// Total time any two routers' breaker views disagreed.
   double view_disagreement_s = 0.0;
+
+  // --- split-brain partitions ---
+  /// Requests admitted by both partition sides (the minority could not
+  /// answer within the client's retry patience, so the majority admitted
+  /// a second copy). Goodput still counts each request at most once.
+  long long double_dispatches = 0;
+  /// Replica time burned by non-winning copies of double-dispatched
+  /// requests — capacity charged to the fleet that served nobody.
+  double duplicate_decode_s = 0.0;
+  /// Duplicate copies cancelled on the minority side at heal time under
+  /// the fence-the-minority policy (their KV freed).
+  long long fenced_requests = 0;
+  /// Autoscaler ticks during a partition where the two sides, each seeing
+  /// only its own queues, would have decided differently.
+  long long autoscaler_conflicts = 0;
+  /// Per healed window: heal edge until the last split-brain duplicate
+  /// resolved (fence drains immediately; first-commit-wins races on).
+  Samples partition_heal_lag_s;
 
   /// Replicas that executed at least one step (shows autoscaler growth).
   int replicas_used = 0;

@@ -88,6 +88,14 @@ std::vector<int> Replica::waiting_hedges() const {
   return ids;
 }
 
+std::vector<int> Replica::resident_ids() const {
+  std::vector<int> ids;
+  ids.reserve(running_.size() + waiting_.size());
+  for (const auto& s : running_) ids.push_back(s.request_id);
+  for (const auto& s : waiting_) ids.push_back(s.request_id);
+  return ids;
+}
+
 long long Replica::outstanding_tokens() const {
   long long total = 0;
   for (const auto& s : waiting_) total += s.remaining_tokens();
@@ -241,6 +249,7 @@ void Replica::begin_step(double now) {
 
   mid_step_ = true;
   step_end_ = now + step_time;
+  step_cost_ = step_time;
   busy_s_ += step_time;
   ++steps_;
 }
@@ -249,6 +258,14 @@ std::vector<Sequence> Replica::complete_step() {
   MIB_ENSURE(mid_step_, "complete_step without a step in flight");
   mid_step_ = false;
   const double now = step_end_;
+
+  // Each batched sequence consumed its share of the step: the capacity a
+  // duplicate copy burns is priced per-copy, not per-step. Copies pulled
+  // out mid-step (cancelled hedge losers) forfeit their share.
+  if (!running_.empty()) {
+    const double share = step_cost_ / static_cast<double>(running_.size());
+    for (auto& s : running_) s.served_s += share;
+  }
 
   std::vector<Sequence> finished;
   for (auto it = running_.begin(); it != running_.end();) {

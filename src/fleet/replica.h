@@ -31,12 +31,19 @@ struct Sequence {
   int prefix_tokens = 0;          ///< reusable prefix length (system+history)
   int retries = 0;                ///< re-routes after replica failures
   bool is_hedge = false;          ///< this copy is the hedged re-issue
+  /// This copy is the majority-side re-admission of a request a partition
+  /// minority already holds (split-brain double dispatch).
+  bool is_partition_dup = false;
 
   // progress
   int prefilled = 0;
   int generated = 0;
   double first_token_s = -1.0;
   bool prefix_hit = false;
+  /// Replica time this copy has consumed (its share of every step it sat
+  /// in). Survives retries — burned work stays burned — and prices the
+  /// duplicate-decode waste when a split-brain copy loses the race.
+  double served_s = 0.0;
 
   bool prefill_done() const { return prefilled >= input_tokens; }
   bool finished() const { return generated >= output_tokens; }
@@ -89,6 +96,9 @@ class Replica {
   /// request_ids of hedge copies still waiting (not yet in service) —
   /// the shed-first pool under overload.
   std::vector<int> waiting_hedges() const;
+  /// request_ids of every copy resident here, running batch first (heal
+  /// fencing enumerates the minority side with this).
+  std::vector<int> resident_ids() const;
   /// Read-only view of the running batch (overlap-drain scheduling).
   const std::vector<Sequence>& running() const { return running_; }
 
@@ -146,6 +156,7 @@ class Replica {
 
   bool mid_step_ = false;
   double step_end_ = 0.0;
+  double step_cost_ = 0.0;  ///< duration of the in-flight step
 
   long long steps_ = 0;
   int preemptions_ = 0;

@@ -50,6 +50,10 @@ struct RequestRecord {
   bool won_by_hedge = false;    ///< the hedge copy finished first
   bool migrated = false;        ///< KV was drain-migrated at least once
   bool router_failover = false;  ///< stranded at a dead router, re-entered
+  /// Split-brain duplicate: both partition sides admitted this request.
+  /// Goodput still counts it at most once — whichever copy commits first.
+  bool double_dispatched = false;
+  bool fenced = false;  ///< a minority-side copy was cancelled at heal
 
   bool completed() const { return status == RequestStatus::kCompleted; }
   double ttft() const { return first_token_s - arrival_s; }

@@ -76,10 +76,12 @@ INSTANTIATE_TEST_SUITE_P(
         SweepCase{"Llama-4-Scout-17B-16E", "cs3", DType::kFP8E4M3},
         SweepCase{"Qwen3-8B", "h100", DType::kFP16},
         SweepCase{"Qwen3-0.6B", "h100", DType::kFP16}),
-    [](const ::testing::TestParamInfo<SweepCase>& info) {
-      std::string n = std::string(info.param.model) + "_" +
-                      info.param.device + "_" +
-                      dtype_name(info.param.dtype);
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      std::string n = param_info.param.model;
+      n += "_";
+      n += param_info.param.device;
+      n += "_";
+      n += dtype_name(param_info.param.dtype);
       for (char& c : n) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -59,7 +59,9 @@ TEST(Profile, LayerOpsCarryLayerCounts) {
     if (op.name == "moe.experts_gate_up" || op.name == "attn.qkvo_proj") {
       EXPECT_EQ(op.instances, 16) << op.name;
     }
-    if (op.name == "step.framework_overhead") EXPECT_EQ(op.instances, 1);
+    if (op.name == "step.framework_overhead") {
+      EXPECT_EQ(op.instances, 1);
+    }
   }
 }
 

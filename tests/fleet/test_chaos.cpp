@@ -137,6 +137,29 @@ FleetConfig chaos_cfg(std::uint64_t seed) {
                      [](MaintenanceWindow&) {});
     }
   }
+  // Split-brain partitions (drawn last so the schedules above keep their
+  // historical streams): with two routers, sometimes cut router 1 — and
+  // sometimes replica 2 with it — off the majority for a while.
+  if (fc.control.routers == 2 && rng.bernoulli(0.4)) {
+    fc.control.partition.enabled = true;
+    fc.control.partition.client_retry_s = rng.uniform(0.01, 0.06);
+    fc.control.partition.heal = rng.bernoulli(0.5)
+                                    ? HealPolicy::kFenceMinority
+                                    : HealPolicy::kFirstCommitWins;
+    PartitionWindow w;
+    w.start_s = rng.uniform(0.0, horizon * 0.4);
+    w.end_s = w.start_s + rng.uniform(0.1, 0.8);
+    w.minority_routers = {1};
+    if (rng.bernoulli(0.6)) w.minority_replicas = {2};
+    fc.control.partition.windows.push_back(w);
+    if (rng.bernoulli(0.3)) {
+      PartitionWindow w2;
+      w2.start_s = w.end_s + rng.uniform(0.05, 0.3);
+      w2.end_s = w2.start_s + rng.uniform(0.1, 0.4);
+      w2.minority_routers = {1};
+      fc.control.partition.windows.push_back(w2);
+    }
+  }
   return fc;
 }
 
@@ -171,7 +194,9 @@ void assert_invariants(const FleetConfig& cfg, const FleetReport& r) {
   EXPECT_LE(r.hedges_won, r.hedges_issued);
   EXPECT_LE(r.hedges_cancelled, r.hedges_issued);
   for (const auto& rec : r.requests) {
-    if (rec.won_by_hedge) EXPECT_TRUE(rec.hedged);
+    if (rec.won_by_hedge) {
+      EXPECT_TRUE(rec.hedged);
+    }
   }
   // Circuit timeline: monotone in time, opens counted consistently, and
   // every false positive corresponds to an open while the replica was up.
@@ -190,17 +215,27 @@ void assert_invariants(const FleetConfig& cfg, const FleetReport& r) {
   }
   for (double lag : r.detection_lag_s.values()) EXPECT_GE(lag, 0.0);
   // Migration accounting only moves KV when enabled.
-  if (!cfg.migration.migrate_kv) EXPECT_EQ(r.migrations, 0);
+  if (!cfg.migration.migrate_kv) {
+    EXPECT_EQ(r.migrations, 0);
+  }
   EXPECT_GE(r.migrated_kv_tokens, r.migrations);  // >= 1 token each
   for (double s : r.migration_s.values()) EXPECT_GT(s, 0.0);
-  if (!cfg.migration.overlap_decode) EXPECT_EQ(r.overlap_decode_tokens, 0);
+  if (!cfg.migration.overlap_decode) {
+    EXPECT_EQ(r.overlap_decode_tokens, 0);
+  }
   // Warm-up and burst accounting only exist when their features do.
-  if (!cfg.warmup.enabled) EXPECT_EQ(r.warmup_recoveries, 0);
+  if (!cfg.warmup.enabled) {
+    EXPECT_EQ(r.warmup_recoveries, 0);
+  }
   EXPECT_EQ(r.suspicion_bursts > 0, r.largest_suspicion_burst >= 2);
   // Control-plane metrics collapse to zero without redundancy at play.
+  // (A frozen minority view counts its dispatches as stale too, so the
+  // zero-check only applies with partitions off.)
   const bool stale =
       cfg.control.routers > 1 && cfg.control.view_sync_interval_s > 0.0;
-  if (!stale) {
+  const bool partitions = cfg.control.partition.enabled &&
+                          !cfg.control.partition.windows.empty();
+  if (!stale && !partitions) {
     EXPECT_EQ(r.stale_dispatches, 0);
     EXPECT_DOUBLE_EQ(r.view_disagreement_s, 0.0);
   }
@@ -208,7 +243,29 @@ void assert_invariants(const FleetConfig& cfg, const FleetReport& r) {
     EXPECT_EQ(r.router_stranded, 0);
     for (const auto& rec : r.requests) EXPECT_FALSE(rec.router_failover);
   }
-  if (!cfg.hedge.enabled) EXPECT_EQ(r.hedges_shed, 0);
+  if (!cfg.hedge.enabled) {
+    EXPECT_EQ(r.hedges_shed, 0);
+  }
+  // Split-brain bookkeeping: flags match the counter, and everything is
+  // exactly zero when no partition is configured.
+  long long dup_records = 0;
+  for (const auto& rec : r.requests) {
+    if (rec.double_dispatched) ++dup_records;
+  }
+  EXPECT_EQ(dup_records, r.double_dispatches);
+  EXPECT_GE(r.duplicate_decode_s, 0.0);
+  for (double lag : r.partition_heal_lag_s.values()) EXPECT_GE(lag, 0.0);
+  if (!partitions) {
+    EXPECT_EQ(r.double_dispatches, 0);
+    EXPECT_DOUBLE_EQ(r.duplicate_decode_s, 0.0);
+    EXPECT_EQ(r.fenced_requests, 0);
+    EXPECT_EQ(r.autoscaler_conflicts, 0);
+    EXPECT_TRUE(r.partition_heal_lag_s.empty());
+    for (const auto& rec : r.requests) {
+      EXPECT_FALSE(rec.double_dispatched);
+      EXPECT_FALSE(rec.fenced);
+    }
+  }
 }
 
 TEST(Chaos, InvariantsHoldAcrossRandomizedSchedules) {
@@ -229,8 +286,8 @@ TEST(Chaos, EveryFeatureExercisedSomewhereInTheSweep) {
   // hedges issued, KV migrated, work retried.
   long long opens = 0, hedges = 0, migrations = 0, retries = 0, lost = 0;
   long long shed = 0, overlap_tok = 0, stranded = 0, stale = 0;
-  long long warmups = 0, bursts = 0;
-  double disagreement = 0.0;
+  long long warmups = 0, bursts = 0, double_dispatched = 0;
+  double disagreement = 0.0, duplicate_decode = 0.0;
   for (std::uint64_t seed = 1; seed <= kChaosSeeds; ++seed) {
     const auto r = FleetSimulator(chaos_cfg(seed)).run(chaos_trace(seed));
     opens += r.circuit_opens;
@@ -245,6 +302,8 @@ TEST(Chaos, EveryFeatureExercisedSomewhereInTheSweep) {
     warmups += r.warmup_recoveries;
     bursts += r.suspicion_bursts;
     disagreement += r.view_disagreement_s;
+    double_dispatched += r.double_dispatches;
+    duplicate_decode += r.duplicate_decode_s;
   }
   EXPECT_GT(opens, 0);
   EXPECT_GT(hedges, 0);
@@ -261,6 +320,9 @@ TEST(Chaos, EveryFeatureExercisedSomewhereInTheSweep) {
   EXPECT_GT(warmups, 0);
   EXPECT_GT(bursts, 0);
   EXPECT_GT(disagreement, 0.0);
+  // PR 4: some seed must actually split the brain.
+  EXPECT_GT(double_dispatched, 0);
+  EXPECT_GT(duplicate_decode, 0.0);
 }
 
 TEST(Chaos, CorrelatedChaosSmoke) {
@@ -305,6 +367,53 @@ TEST(Chaos, CorrelatedChaosSmoke) {
     EXPECT_EQ(r.warmup_recoveries > 0,
               !FleetSimulator(cfg).warmup_windows().empty());
   }
+}
+
+TEST(Chaos, PartitionSmoke) {
+  // CI fast path for the split-brain machinery: a few seeds with a forced
+  // partition (router 1 + replica 2 cut off mid-trace), alternating heal
+  // policies. Must stay cheap — it runs in the fail-first smoke step.
+  long long double_dispatched = 0, fenced = 0;
+  double duplicate_decode = 0.0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("partition smoke seed " + std::to_string(seed));
+    auto cfg = chaos_cfg(seed);
+    cfg.control.routers = 2;
+    cfg.control.router_faults.clear();
+    cfg.control.partition.enabled = true;
+    cfg.control.partition.client_retry_s = 0.01;
+    cfg.control.partition.heal = (seed % 2 == 0)
+                                     ? HealPolicy::kFenceMinority
+                                     : HealPolicy::kFirstCommitWins;
+    PartitionWindow w;
+    w.start_s = 0.05;
+    // Heal mid-congestion so the fence seeds find still-racing duplicates
+    // resident on the minority replica.
+    w.end_s = 0.3;
+    w.minority_routers = {1};
+    w.minority_replicas = {2};
+    cfg.control.partition.windows = {w};
+    // Keep the cut itself the only failure mode in play.
+    cfg.faults.clear();
+    cfg.degradations.clear();
+    cfg.domain_faults.clear();
+    cfg.domain_degradations.clear();
+    cfg.maintenance.clear();
+    auto trace = as_fleet_trace(engine::make_uniform_batch(48, 192, 48));
+    workload::ArrivalConfig ac;
+    ac.rate_qps = 120.0;
+    ac.seed = seed ^ 0xA11CEull;
+    stamp_arrivals(ac, trace);
+    FleetReport r;
+    ASSERT_NO_THROW(r = FleetSimulator(cfg).run(trace));
+    assert_invariants(cfg, r);
+    double_dispatched += r.double_dispatches;
+    fenced += r.fenced_requests;
+    duplicate_decode += r.duplicate_decode_s;
+  }
+  EXPECT_GT(double_dispatched, 0);
+  EXPECT_GT(duplicate_decode, 0.0);
+  EXPECT_GT(fenced, 0);
 }
 
 TEST(Chaos, DeterministicUnderChaos) {

@@ -59,10 +59,14 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(CoverageCase{8, 2, 4}, CoverageCase{8, 2, 16},
                       CoverageCase{64, 8, 4}, CoverageCase{64, 8, 16},
                       CoverageCase{64, 1, 32}, CoverageCase{16, 4, 8}),
-    [](const ::testing::TestParamInfo<CoverageCase>& info) {
-      return "E" + std::to_string(info.param.experts) + "_k" +
-             std::to_string(info.param.top_k) + "_t" +
-             std::to_string(info.param.tokens);
+    [](const ::testing::TestParamInfo<CoverageCase>& param_info) {
+      std::string n = "E";
+      n += std::to_string(param_info.param.experts);
+      n += "_k";
+      n += std::to_string(param_info.param.top_k);
+      n += "_t";
+      n += std::to_string(param_info.param.tokens);
+      return n;
     });
 
 // --- the functional transformer's per-layer activation statistics feed the

@@ -48,8 +48,8 @@ INSTANTIATE_TEST_SUITE_P(
         PublishedCounts{"Qwen3-1.7B", 1.7, 1.7, 0.05},
         PublishedCounts{"Qwen3-4B", 4.0, 4.0, 0.05},
         PublishedCounts{"Qwen3-8B", 8.2, 8.2, 0.05}),
-    [](const ::testing::TestParamInfo<PublishedCounts>& info) {
-      std::string n = info.param.name;
+    [](const ::testing::TestParamInfo<PublishedCounts>& param_info) {
+      std::string n = param_info.param.name;
       for (char& c : n) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -132,8 +132,9 @@ TEST(Attention, RopeEncodesPositionIntoCachedKeys) {
     double norm = 0.0;
     for (float v : kv.key(p)) norm += static_cast<double>(v) * v;
     if (p == 0) key_norm = static_cast<float>(norm);
-    if (p == 1) EXPECT_NEAR(static_cast<float>(norm), key_norm,
-                            1e-3f * key_norm);
+    if (p == 1) {
+      EXPECT_NEAR(static_cast<float>(norm), key_norm, 1e-3f * key_norm);
+    }
   }
 }
 

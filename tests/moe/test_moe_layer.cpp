@@ -62,11 +62,19 @@ INSTANTIATE_TEST_SUITE_P(
                       Geometry{32, 64, 8, 2, 0}, Geometry{32, 16, 16, 3, 0},
                       Geometry{24, 48, 6, 2, 1}, Geometry{32, 64, 8, 2, 2},
                       Geometry{8, 8, 2, 1, 0}, Geometry{64, 128, 4, 2, 0}),
-    [](const ::testing::TestParamInfo<Geometry>& info) {
-      const auto& g = info.param;
-      return "h" + std::to_string(g.hidden) + "_f" + std::to_string(g.ffn) +
-             "_e" + std::to_string(g.experts) + "_k" +
-             std::to_string(g.top_k) + "_s" + std::to_string(g.shared);
+    [](const ::testing::TestParamInfo<Geometry>& param_info) {
+      const auto& g = param_info.param;
+      std::string n = "h";
+      n += std::to_string(g.hidden);
+      n += "_f";
+      n += std::to_string(g.ffn);
+      n += "_e";
+      n += std::to_string(g.experts);
+      n += "_k";
+      n += std::to_string(g.top_k);
+      n += "_s";
+      n += std::to_string(g.shared);
+      return n;
     });
 
 TEST(MoELayer, SingleThreadPoolMatchesShared) {

@@ -40,7 +40,9 @@ TEST(Placement, BalancedNeverWorseThanContiguousUnderSkew) {
     const double bal = placement_max_mass(probs, balanced_placement(probs, 4), 4);
     EXPECT_LE(bal, contig + 1e-12) << "skew " << skew;
     // And the gap is substantial at high skew.
-    if (skew >= 1.2) EXPECT_LT(bal, 0.7 * contig) << "skew " << skew;
+    if (skew >= 1.2) {
+      EXPECT_LT(bal, 0.7 * contig) << "skew " << skew;
+    }
   }
 }
 

@@ -48,8 +48,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DtypeBound{DType::kFP8E5M2, 0.09, 5e-3},
                       DtypeBound{DType::kINT8, 0.02, 1e-4},
                       DtypeBound{DType::kINT4, 0.25, 1e-3}),
-    [](const ::testing::TestParamInfo<DtypeBound>& info) {
-      return dtype_name(info.param.dt);
+    [](const ::testing::TestParamInfo<DtypeBound>& param_info) {
+      return dtype_name(param_info.param.dt);
     });
 
 TEST(FakeQuantize, ErrorOrderingAcrossPrecisions) {

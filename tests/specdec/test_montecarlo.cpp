@@ -40,10 +40,14 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, McAcceptance,
     ::testing::Combine(::testing::Values(0.3, 0.55, 0.72, 0.9),
                        ::testing::Values(1, 2, 4, 8)),
-    [](const ::testing::TestParamInfo<AlphaK>& info) {
-      return "a" +
-             std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
-             "_k" + std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<AlphaK>& param_info) {
+      // Built via append rather than operator+ chains: GCC 12's -Wrestrict
+      // false-fires on the temporary-reusing rvalue overloads (PR105651).
+      std::string n = "a";
+      n += std::to_string(static_cast<int>(std::get<0>(param_info.param) * 100));
+      n += "_k";
+      n += std::to_string(std::get<1>(param_info.param));
+      return n;
     });
 
 TEST(McAcceptance, CycleOutputBounds) {

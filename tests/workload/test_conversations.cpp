@@ -47,7 +47,9 @@ TEST(Conversations, FirstTurnSharesOnlySystemPrompt) {
   cfg.system_prompt_tokens = 777;
   const auto turns = generate_conversations(cfg);
   for (const auto& t : turns) {
-    if (t.turn == 0) EXPECT_EQ(t.shared_prefix_tokens, 777);
+    if (t.turn == 0) {
+      EXPECT_EQ(t.shared_prefix_tokens, 777);
+    }
   }
 }
 
