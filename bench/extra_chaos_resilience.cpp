@@ -1,4 +1,4 @@
-// Extension: partial-failure resilience. Four tables:
+// Extension: partial-failure resilience. Tables:
 //   (a) failure detection — the PR 1 fault-schedule oracle vs heartbeat +
 //       circuit-breaker detection: detection lag, requests stuck behind the
 //       lag, and what the p99 pays for realism;
@@ -28,7 +28,14 @@
 //   (i) split-brain partition — router 1 + replica 2 cut off the majority
 //       for 1s; the minority serves on its frozen view, impatient clients
 //       re-enter at the majority (double dispatch), and the heal policy
-//       decides who wins: fence-the-minority vs first-commit-wins.
+//       decides who wins: fence-the-minority vs first-commit-wins;
+//   (j) gray partitions — the same 1.0 partition-second reshaped as a
+//       clean cut, an asymmetric cut (dispatches land, the response stream
+//       is lost, finished decodes are orphaned) and a flapping cut
+//       (open/closed on a duty cycle, one heal storm per episode);
+//   (k) quorum self-fencing — the minority router without a strict
+//       majority serves stale (PR 4) vs fences at the cut vs fences after
+//       a grace window, re-homing fenced requests to the majority.
 #include <algorithm>
 #include <iostream>
 #include <string>
@@ -474,6 +481,106 @@ int main() {
     core::maybe_export_csv(t, "extra_chaos_partition");
   }
 
+  // --- (j) gray cuts: shape of the partition at equal partition-seconds ---
+  {
+    Table t("(j) Gray partitions — same 1.0 partition-second on router 1 + "
+            "replica 2, three shapes: one clean cut, an asymmetric cut "
+            "(dispatches land, replies are lost), and a flapping cut "
+            "(0.25s period, 50% duty over 2s); clients retry with "
+            "jittered exponential backoff in every row");
+    t.set_headers({"cut shape", "double disp", "dup decode (s)", "orphaned",
+                   "lost decode (s)", "resends", "heal edges", "p99 TTFT (s)",
+                   "goodput (qps)"});
+    struct Shape {
+      const char* name;
+      bool asymmetric;
+      bool flapping;
+    };
+    for (const Shape m : {Shape{"clean cut", false, false},
+                          Shape{"asymmetric", true, false},
+                          Shape{"flapping", false, true}}) {
+      auto cfg = base_config(3);
+      cfg.replica.max_batch = 8;
+      cfg.retry.max_retries = 12;
+      cfg.control.routers = 2;
+      auto& p = cfg.control.partition;
+      p.enabled = true;
+      p.client_retry_s = 0.01;
+      p.max_client_retries = 3;
+      p.retry_multiplier = 2.0;
+      p.retry_jitter = 0.5;
+      fleet::PartitionWindow w;
+      w.start_s = 0.2;
+      w.end_s = 1.2;
+      w.minority_routers = {1};
+      w.minority_replicas = {2};
+      if (m.asymmetric) w.open_to_minority = true;
+      if (m.flapping) {
+        w.end_s = 2.2;  // 2s span x 50% duty = the same 1.0s of cut
+        w.flap_period_s = 0.25;
+        w.flap_duty = 0.5;
+      }
+      p.windows.push_back(w);
+      const auto r =
+          fleet::FleetSimulator(cfg).run(mixed_trace(256, 96.0, 31));
+      t.new_row()
+          .cell(m.name)
+          .cell(r.double_dispatches)
+          .cell(r.duplicate_decode_s, 4)
+          .cell(r.orphaned_completions)
+          .cell(r.lost_completion_s, 4)
+          .cell(r.client_resends)
+          .cell(r.partition_flaps)
+          .cell(r.ttft_s.p99(), 2)
+          .cell(r.slo.goodput_qps, 2);
+    }
+    t.print(std::cout);
+    core::maybe_export_csv(t, "extra_chaos_gray_shapes");
+  }
+
+  // --- (k) quorum policy: serve stale vs self-fencing the minority ---
+  {
+    Table t("(k) Quorum self-fencing — router 1 + replica 2 cut off "
+            "0.2s-1.2s; the minority router has no strict majority, so it "
+            "may serve on its stale view (PR 4), fence itself the instant "
+            "the cut lands, or fence after a 50ms grace window");
+    t.set_headers({"quorum policy", "quorum fenced", "double disp",
+                   "dup decode (s)", "heal fenced", "p99 TTFT (s)",
+                   "attainment", "goodput (qps)"});
+    for (const auto q : {fleet::QuorumPolicy::kServeStale,
+                         fleet::QuorumPolicy::kFenceAtCut,
+                         fleet::QuorumPolicy::kFenceAfterGrace}) {
+      auto cfg = base_config(3);
+      cfg.replica.max_batch = 8;
+      cfg.retry.max_retries = 12;
+      cfg.control.routers = 2;
+      auto& p = cfg.control.partition;
+      p.enabled = true;
+      p.client_retry_s = 0.01;
+      p.quorum = q;
+      p.quorum_grace_s = 0.05;
+      fleet::PartitionWindow w;
+      w.start_s = 0.2;
+      w.end_s = 1.2;
+      w.minority_routers = {1};
+      w.minority_replicas = {2};
+      p.windows.push_back(w);
+      const auto r =
+          fleet::FleetSimulator(cfg).run(mixed_trace(256, 96.0, 31));
+      t.new_row()
+          .cell(fleet::quorum_policy_name(q))
+          .cell(r.quorum_fenced)
+          .cell(r.double_dispatches)
+          .cell(r.duplicate_decode_s, 4)
+          .cell(r.fenced_requests)
+          .cell(r.ttft_s.p99(), 2)
+          .cell(r.slo.attainment, 3)
+          .cell(r.slo.goodput_qps, 2);
+    }
+    t.print(std::cout);
+    core::maybe_export_csv(t, "extra_chaos_quorum");
+  }
+
   std::cout
       << "\nReading: (a) realistic detection pays a measurable lag and a "
          "dented tail vs the oracle, which is exactly the cost PR 1 could "
@@ -509,6 +616,16 @@ int main() {
          "directions; fencing drains the duplicates the instant the cut "
          "heals, while first-commit-wins lets them race on — cheaper when "
          "the minority copy is about to finish, pure waste when it is "
-         "not.\n";
+         "not; (j) the shape of a cut matters as much as its length — an "
+         "asymmetric cut is crueler than a clean one because the minority "
+         "still burns decode on requests whose finished responses never "
+         "reach the client (orphaned completions, lost decode seconds, and "
+         "a client resend for each), while a flapping cut re-pays the heal "
+         "cost every episode and keeps re-arming the client backoff; (k) "
+         "self-fencing trades availability for waste — serve-stale burns "
+         "the most duplicate decode, fence-at-cut eliminates it by "
+         "re-homing everything to the majority at detection time, and "
+         "fence-after-grace splits the difference by letting short blips "
+         "ride while long cuts fence.\n";
   return 0;
 }

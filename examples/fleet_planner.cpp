@@ -100,10 +100,17 @@ int main() {
   Table rt("Resilience margin at the target load (crash 2s-6s detected by "
            "heartbeats; brownout to 20% for 2s-10s)");
   rt.set_headers({"fleet", "incident", "hedge", "attainment", "p99 TTFT (s)",
-                  "lost", "detect lag p50 (s)"});
+                  "lost", "suppressed", "detect lag p50 (s)"});
+  struct HedgeMode {
+    const char* name;
+    bool enabled;
+    double gate;  ///< max_utilization; 1.0 leaves the gate off
+  };
   for (int n : {answer, answer + 1}) {
     for (int scenario = 0; scenario < 2; ++scenario) {
-      for (bool hedged : {false, true}) {
+      for (const HedgeMode hm : {HedgeMode{"off", false, 1.0},
+                                 HedgeMode{"p95", true, 1.0},
+                                 HedgeMode{"p95 gated", true, 0.85}}) {
         auto fc = config_for(n);
         if (scenario == 0) {
           fc.faults.push_back(fleet::FaultWindow{0, 2.0, 6.0});
@@ -111,16 +118,18 @@ int main() {
           fc.degradations.push_back(
               fleet::DegradationWindow{0, 2.0, 10.0, {0.2, 0.2, 0.2}});
         }
-        fc.hedge.enabled = hedged;
+        fc.hedge.enabled = hm.enabled;
+        fc.hedge.max_utilization = hm.gate;
         fc.retry.jitter = 1.0;
         const auto r = fleet::FleetSimulator(fc).run(trace);
         rt.new_row()
             .cell(n)
             .cell(scenario == 0 ? "replica 0 crash" : "replica 0 brownout")
-            .cell(hedged ? "p95" : "off")
+            .cell(hm.name)
             .cell(r.slo.attainment, 3)
             .cell(r.ttft_s.p99(), 2)
             .cell(r.lost)
+            .cell(r.hedges_suppressed)
             .cell(r.detection_lag_s.count() > 0 ? r.detection_lag_s.p50()
                                                 : 0.0,
                   3);
@@ -134,7 +143,11 @@ int main() {
                "hedging is not free insurance: with no spare capacity the "
                "extra copies land on the one healthy replica and push it "
                "over the edge (the classic tail-at-scale caveat); with an "
-               "N+1 margin it is cheap tail protection.\n";
+               "N+1 margin it is cheap tail protection. The gated rows "
+               "soften the caveat: a utilization gate self-disables hedging "
+               "while the survivors are saturated (the suppressed column "
+               "counts the hedges it swallowed), so the insurance stays on "
+               "for the tail without feeding the overload.\n";
 
   // --- blast radius: the N+1 plan with its replicas placed in two racks ---
   //
@@ -159,21 +172,25 @@ int main() {
            "-replica plan, placed round-robin in 2 racks (fault 2s-4s)");
   ct.set_headers({"incident", "bursts", "largest burst", "warm-ups",
                   "stranded", "failovers", "double disp", "dup decode (s)",
-                  "attainment", "p99 TTFT (s)"});
+                  "orphaned", "attainment", "p99 TTFT (s)"});
   struct Incident {
     const char* name;
     bool rack;
     bool warmup;
     bool router_down;
     bool partition;
+    bool gray;
   };
   for (const Incident inc :
-       {Incident{"one node (n0) crash", false, false, false, false},
-        Incident{"rack0 event", true, false, false, false},
-        Incident{"rack0 event + warm-up", true, true, false, false},
-        Incident{"rack0 event + router 0 dies", true, true, true, false},
+       {Incident{"one node (n0) crash", false, false, false, false, false},
+        Incident{"rack0 event", true, false, false, false, false},
+        Incident{"rack0 event + warm-up", true, true, false, false, false},
+        Incident{"rack0 event + router 0 dies", true, true, true, false,
+                 false},
         Incident{"rack0 partitioned off (split brain)", false, false, false,
-                 true}}) {
+                 true, false},
+        Incident{"rack0 gray cut (flapping, asymmetric)", false, false,
+                 false, true, true}}) {
     auto fc = config_for(fleet_n);
     fc.topology = topo;
     fc.retry.jitter = 1.0;
@@ -189,6 +206,22 @@ int main() {
       w.end_s = 4.0;
       w.minority_routers = {1};
       for (int i = 0; i < fleet_n; i += 2) w.minority_replicas.push_back(i);
+      if (inc.gray) {
+        // The same 2s of cut, but flapping on a 0.5s period and leaking
+        // dispatches across while the response stream stays dead — the
+        // gray shape real networks produce. The minority router fences
+        // itself once each episode outlives the grace window, and the
+        // client's patience retries back off with full jitter.
+        w.end_s = 6.0;  // 4s span x 50% duty = the same 2s of cut
+        w.flap_period_s = 0.5;
+        w.flap_duty = 0.5;
+        w.open_to_minority = true;
+        fc.control.partition.quorum = fleet::QuorumPolicy::kFenceAfterGrace;
+        fc.control.partition.quorum_grace_s = 0.1;
+        fc.control.partition.max_client_retries = 3;
+        fc.control.partition.retry_multiplier = 2.0;
+        fc.control.partition.retry_jitter = 0.5;
+      }
       fc.control.partition.windows.push_back(w);
     } else if (inc.rack) {
       fc.domain_faults.push_back(fleet::DomainFault{"rack0", 2.0, 4.0});
@@ -214,6 +247,7 @@ int main() {
         .cell(failovers)
         .cell(r.double_dispatches)
         .cell(r.duplicate_decode_s, 3)
+        .cell(r.orphaned_completions)
         .cell(r.slo.attainment, 3)
         .cell(r.ttft_s.p99(), 2);
   }
@@ -230,6 +264,79 @@ int main() {
                "fleet pays duplicate decode seconds for every request both "
                "sides admitted — a partition turns spare capacity into "
                "contended capacity exactly when half the fleet is already "
-               "unreachable.\n";
+               "unreachable. The gray row is worse again per cut-second: "
+               "the asymmetric link keeps feeding the minority work whose "
+               "finished responses never reach the client (the orphaned "
+               "column), and every flap episode re-pays the heal cost.\n";
+
+  // --- autoscaler placement: does new capacity share a blast radius? ---
+  //
+  // When the autoscaler grows the fleet under load, first-fit placement
+  // happily stacks every new replica into whichever rack has free slots —
+  // re-creating the blast radius the round-robin layout above was built to
+  // avoid. The topology-aware policy picks the slot whose rack currently
+  // hosts the fewest active replicas. Spare slots here are deliberately
+  // rack0-heavy so the two policies actually diverge.
+  {
+    const int pool = fleet_n + 4;
+    fleet::TopologyConfig grow;
+    grow.domains = {fleet::DomainSpec{"zone", ""},
+                    fleet::DomainSpec{"rack0", "zone"},
+                    fleet::DomainSpec{"rack1", "zone"}};
+    for (int r = 0; r < pool; ++r) {
+      const std::string node = "n" + std::to_string(r);
+      // Initial replicas alternate racks; the first spare slots all sit
+      // in rack0, so first-fit growth stacks that rack.
+      const char* rack =
+          (r < fleet_n ? (r % 2 == 0) : (r < fleet_n + 2)) ? "rack0"
+                                                           : "rack1";
+      grow.domains.push_back(fleet::DomainSpec{node, rack});
+      grow.replica_domain.push_back(node);
+    }
+    Table at("Autoscaler placement for the " + std::to_string(fleet_n) +
+             "-replica plan growing to " + std::to_string(pool) +
+             " slots under 2x load");
+    at.set_headers({"placement", "adds", "rack0 share", "worst-rack blast",
+                    "attainment"});
+    for (const bool aware : {false, true}) {
+      auto fc = config_for(fleet_n);
+      fc.topology = grow;
+      fc.autoscaler.enabled = true;
+      fc.autoscaler.min_replicas = fleet_n;
+      fc.autoscaler.max_replicas = pool;
+      fc.autoscaler.topology_aware = aware;
+      const auto r = fleet::FleetSimulator(fc).run(make_trace(
+          2.0 * target_qps));
+      const fleet::Topology placed(grow, pool);
+      long long adds = 0;
+      std::vector<int> ever;
+      for (int i = 0; i < fleet_n; ++i) ever.push_back(i);
+      for (const auto& ev : r.scale_events) {
+        if (ev.action != "add") continue;
+        ++adds;
+        ever.push_back(ev.replica);
+      }
+      std::sort(ever.begin(), ever.end());
+      ever.erase(std::unique(ever.begin(), ever.end()), ever.end());
+      long long in_rack0 = 0;
+      for (int i : ever) {
+        if (placed.spread_group_of(i) == "rack0") ++in_rack0;
+      }
+      const long long worst =
+          std::max(in_rack0, static_cast<long long>(ever.size()) - in_rack0);
+      at.new_row()
+          .cell(aware ? "topology-aware" : "first-fit")
+          .cell(adds)
+          .cell(std::to_string(in_rack0) + "/" + std::to_string(ever.size()))
+          .cell(worst)
+          .cell(r.slo.attainment, 3);
+    }
+    at.print(std::cout);
+    std::cout << "\nReading: both policies buy the same capacity, but "
+                 "first-fit concentrates it — one rack event would now take "
+                 "out the worst-rack column's replicas at once. Spreading "
+                 "costs nothing here because the slots are fungible; it "
+                 "only shows up the day the rack does.\n";
+  }
   return 0;
 }

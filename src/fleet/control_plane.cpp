@@ -35,6 +35,15 @@ const char* heal_policy_name(HealPolicy policy) {
   return "unknown";
 }
 
+const char* quorum_policy_name(QuorumPolicy policy) {
+  switch (policy) {
+    case QuorumPolicy::kServeStale: return "serve-stale";
+    case QuorumPolicy::kFenceAtCut: return "fence-at-cut";
+    case QuorumPolicy::kFenceAfterGrace: return "fence-after-grace";
+  }
+  return "unknown";
+}
+
 void PartitionWindow::validate() const {
   MIB_ENSURE(start_s >= 0.0, "partition window starts before t=0");
   MIB_ENSURE(end_s > start_s, "partition window must have positive duration");
@@ -58,6 +67,11 @@ void PartitionWindow::validate() const {
                                                    << " twice");
     }
   }
+  MIB_ENSURE(flap_period_s >= 0.0, "negative flap period");
+  if (flap_period_s > 0.0) {
+    MIB_ENSURE(flap_duty > 0.0 && flap_duty <= 1.0,
+               "flap duty cycle must be in (0, 1]");
+  }
 }
 
 void PartitionConfig::validate(int routers) const {
@@ -67,6 +81,13 @@ void PartitionConfig::validate(int routers) const {
     return;
   }
   MIB_ENSURE(client_retry_s > 0.0, "partition client retry must be > 0");
+  MIB_ENSURE(quorum_grace_s >= 0.0, "negative quorum grace");
+  MIB_ENSURE(retry_multiplier >= 1.0,
+             "client retry multiplier must be >= 1 (backoff cannot shrink)");
+  MIB_ENSURE(retry_jitter >= 0.0 && retry_jitter <= 1.0,
+             "client retry jitter must be in [0, 1]");
+  MIB_ENSURE(max_client_retries >= 1,
+             "clients need at least one patience expiry");
   for (const auto& w : windows) {
     w.validate();
     MIB_ENSURE(static_cast<int>(w.minority_routers.size()) < routers,
@@ -115,6 +136,22 @@ ControlPlane::ControlPlane(const ControlPlaneConfig& cfg, RoutePolicy policy,
     next_sync_[static_cast<std::size_t>(r)] =
         cfg_.view_sync_interval_s * (r + 1) / cfg_.routers;
   }
+  // Expand flapping windows into their cut episodes so partition_at and
+  // the transition queries see every flap edge as a plain window edge.
+  for (const auto& w : cfg_.partition.windows) {
+    if (w.flap_period_s <= 0.0 || w.flap_duty >= 1.0) {
+      expanded_.push_back(w);
+      continue;
+    }
+    for (int k = 0;; ++k) {
+      const double cut = w.start_s + k * w.flap_period_s;
+      if (cut >= w.end_s) break;
+      PartitionWindow episode = w;
+      episode.start_s = cut;
+      episode.end_s = std::min(w.end_s, cut + w.flap_duty * w.flap_period_s);
+      expanded_.push_back(std::move(episode));
+    }
+  }
 }
 
 int ControlPlane::survivor(double t) const {
@@ -126,7 +163,7 @@ int ControlPlane::survivor(double t) const {
 
 const PartitionWindow* ControlPlane::partition_at(double t) const {
   if (!partition_enabled()) return nullptr;
-  for (const auto& w : cfg_.partition.windows) {
+  for (const auto& w : expanded_) {
     if (t >= w.start_s && t < w.end_s) return &w;
   }
   return nullptr;
@@ -145,8 +182,74 @@ bool ControlPlane::replica_minority(int i, double t) const {
 bool ControlPlane::reachable(int router, int replica, double t) const {
   const PartitionWindow* w = partition_at(t);
   if (w == nullptr) return true;
-  return contains(w->minority_routers, router) ==
-         contains(w->minority_replicas, replica);
+  const bool rtr_minor = contains(w->minority_routers, router);
+  const bool rep_minor = contains(w->minority_replicas, replica);
+  if (rtr_minor == rep_minor) return true;  // same side
+  // Cross-cut dispatch travels router-side -> replica-side.
+  return rtr_minor ? w->open_to_majority : w->open_to_minority;
+}
+
+bool ControlPlane::reply_reachable(int replica, int router, double t) const {
+  const PartitionWindow* w = partition_at(t);
+  if (w == nullptr) return true;
+  // A clean cut keeps PR 4's semantics: established response streams
+  // survive. Only an asymmetric cut models reply loss.
+  if (!w->open_to_minority && !w->open_to_majority) return true;
+  const bool rep_minor = contains(w->minority_replicas, replica);
+  const bool rtr_minor = contains(w->minority_routers, router);
+  if (rep_minor == rtr_minor) return true;  // same side
+  // The reply travels replica-side -> router-side.
+  return rep_minor ? w->open_to_majority : w->open_to_minority;
+}
+
+bool ControlPlane::cancel_reachable(int replica, double t) const {
+  const PartitionWindow* w = partition_at(t);
+  if (w == nullptr) return true;
+  // Cancels originate on the majority side (the front end that resolved
+  // the request); they cross into the minority only along an open
+  // majority -> minority direction.
+  return !contains(w->minority_replicas, replica) || w->open_to_minority;
+}
+
+bool ControlPlane::heartbeat_crosses(int replica, double t) const {
+  const PartitionWindow* w = partition_at(t);
+  if (w == nullptr) return true;
+  // The health monitor lives with the majority; a minority replica's
+  // heartbeat needs the minority -> majority direction.
+  return !contains(w->minority_replicas, replica) || w->open_to_majority;
+}
+
+bool ControlPlane::drain_reachable(int replica, double t) const {
+  if (!cfg_.partition.sever_drain_fabric) return true;
+  const PartitionWindow* w = partition_at(t);
+  if (w == nullptr) return true;
+  // KV ships toward the majority side, where the drained work re-enters;
+  // a minority source needs the minority -> majority direction.
+  return !contains(w->minority_replicas, replica) || w->open_to_majority;
+}
+
+double ControlPlane::fence_time(const PartitionWindow& w) const {
+  if (cfg_.partition.quorum == QuorumPolicy::kServeStale) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // A strict majority of routers keeps serving; the complement side holds
+  // the tie-breaker, so a minority that IS the strict majority (possible
+  // when most routers are named minority) never fences either — fencing
+  // is only for the side that lost quorum.
+  const int minority = static_cast<int>(w.minority_routers.size());
+  if (2 * minority > cfg_.routers) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double grace = cfg_.partition.quorum == QuorumPolicy::kFenceAtCut
+                           ? 0.0
+                           : cfg_.partition.quorum_grace_s;
+  return w.start_s + grace;
+}
+
+bool ControlPlane::router_fenced(int r, double t) const {
+  const PartitionWindow* w = partition_at(t);
+  if (w == nullptr || !contains(w->minority_routers, r)) return false;
+  return t >= fence_time(*w);
 }
 
 int ControlPlane::majority_survivor(double t) const {
@@ -159,9 +262,13 @@ int ControlPlane::majority_survivor(double t) const {
 double ControlPlane::next_partition_transition_after(double t) const {
   double best = std::numeric_limits<double>::infinity();
   if (!partition_enabled()) return best;
-  for (const auto& w : cfg_.partition.windows) {
+  for (const auto& w : expanded_) {
     if (w.start_s > t) best = std::min(best, w.start_s);
     if (w.end_s > t) best = std::min(best, w.end_s);
+    // The fence edge is an interior event (kFenceAfterGrace): the loop
+    // must wake exactly when the minority's lease expires.
+    const double fence = fence_time(w);
+    if (fence > t && fence < w.end_s) best = std::min(best, fence);
   }
   return best;
 }

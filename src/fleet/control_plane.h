@@ -35,6 +35,34 @@
 // first-commit-wins lets both copies race to completion and cancels the
 // loser. With partition.enabled = false the plane is bitwise-identical to
 // the PR 3 behaviour.
+//
+// Gray failures (PR 5): real partitions are rarely the clean binary cut
+// above. Four refinements, each defaulting to the PR 4 behaviour:
+//
+//  - Asymmetric links: a window can leave one direction of the cut
+//    passing traffic (open_to_minority / open_to_majority). Dispatches
+//    cross the cut along an open direction, but the reply has to cross
+//    back — if that direction is dark, the replica decodes to completion
+//    and nobody hears (an orphaned completion, charged to
+//    lost_completion_s). Cancels are majority-initiated and reach a
+//    minority replica only when open_to_minority is set.
+//  - Flapping: flap_period_s / flap_duty expand one configured window
+//    into a train of short cuts, re-running the freeze/heal machinery at
+//    every edge. Breakers, frozen views, heal fencing and quorum grace
+//    all restart per flap episode.
+//  - Quorum self-fencing: with quorum != kServeStale, a minority side
+//    that cannot see a strict majority of routers stops admitting —
+//    immediately (kFenceAtCut) or after quorum_grace_s of serving stale
+//    (kFenceAfterGrace). Fenced dispatches are re-homed to the majority
+//    survivor instead of being double-dispatched later.
+//  - Jittered client backoff: the single fixed client patience becomes a
+//    full-jitter exponential schedule (retry_multiplier, retry_jitter,
+//    max_client_retries), reusing the splitmix hash scheme of the PR 2
+//    server-side retry policy.
+//
+// A clean cut keeps PR 4's charitable assumption that response streams
+// established before (or across) the cut survive it; an asymmetric cut is
+// precisely the gray failure where they do not.
 #pragma once
 
 #include <cstdint>
@@ -72,6 +100,23 @@ enum class HealPolicy {
 
 const char* heal_policy_name(HealPolicy policy);
 
+/// What a minority side does about the work it cannot coordinate. PR 4's
+/// minority served on its frozen view forever; a quorum rule lets it
+/// notice it lost the majority and stop admitting.
+enum class QuorumPolicy {
+  /// PR 4: the minority keeps admitting on its frozen view.
+  kServeStale,
+  /// The minority fences itself the instant the cut starts: new
+  /// dispatches at a fenced router are refused and re-homed to the
+  /// majority survivor.
+  kFenceAtCut,
+  /// The minority serves stale for quorum_grace_s (lease expiry), then
+  /// fences. A flap shorter than the grace never fences.
+  kFenceAfterGrace,
+};
+
+const char* quorum_policy_name(QuorumPolicy policy);
+
 /// One network partition: for [start_s, end_s) the named routers (and,
 /// optionally, replicas) form the minority side; everything else is the
 /// majority. Routers can only reach replicas on their own side, and the
@@ -84,6 +129,22 @@ struct PartitionWindow {
   /// Replicas cut off with the minority side (may be empty: the minority
   /// router then keeps admitting but can dispatch nowhere).
   std::vector<int> minority_replicas;
+  /// Asymmetric cut: the majority -> minority direction stays up, so
+  /// majority routers keep dispatching (and cancelling) onto minority
+  /// replicas — but completions crossing back minority -> majority are
+  /// lost unless open_to_majority is also set.
+  bool open_to_minority = false;
+  /// Asymmetric cut, other direction: minority routers can still dispatch
+  /// onto majority replicas; replies majority -> minority are lost unless
+  /// open_to_minority is also set. Both flags false = PR 4's clean cut.
+  bool open_to_majority = false;
+  /// Flapping: with flap_period_s > 0 this window expands into a train of
+  /// cut episodes — cut for the first flap_duty fraction of every period,
+  /// healed for the rest, clipped at end_s. Every episode freezes views
+  /// and heals independently. 0 = one solid cut (PR 4).
+  double flap_period_s = 0.0;
+  /// Fraction of each flap period spent cut, in (0, 1]. 1 = solid.
+  double flap_duty = 0.5;
 
   void validate() const;
 };
@@ -95,6 +156,27 @@ struct PartitionConfig {
   /// dispatch). Measured from the dispatch at the minority router.
   double client_retry_s = 0.1;
   HealPolicy heal = HealPolicy::kFenceMinority;
+  /// Whether a minority side without a strict router majority keeps
+  /// serving (PR 4) or fences itself. The complement side always holds
+  /// the tie-breaker and never fences.
+  QuorumPolicy quorum = QuorumPolicy::kServeStale;
+  /// Lease the minority serves on before kFenceAfterGrace fences it,
+  /// measured from each cut (each flap episode re-runs the grace).
+  double quorum_grace_s = 0.05;
+  /// Client backoff across repeated patience expiries: attempt k waits
+  /// client_retry_s * retry_multiplier^(k-1), full-jittered by
+  /// retry_jitter (same splitmix scheme as RetryPolicy). The defaults —
+  /// multiplier 1, jitter 0, one attempt — reproduce PR 4's single fixed
+  /// patience bit-for-bit.
+  double retry_multiplier = 1.0;
+  double retry_jitter = 0.0;
+  int max_client_retries = 1;
+  /// Partitions also sever the replica-to-replica drain fabric: a KV
+  /// migration out of a minority-side source aborts mid-stripe (or is
+  /// never attempted) and falls back to evacuate-and-recompute, unless
+  /// the minority -> majority direction is open. false = PR 4 (drain
+  /// traffic ignores cuts).
+  bool sever_drain_fabric = false;
   std::vector<PartitionWindow> windows;
 
   void validate(int routers) const;
@@ -163,15 +245,35 @@ class ControlPlane {
   bool partition_enabled() const {
     return cfg_.partition.enabled && !cfg_.partition.windows.empty();
   }
-  /// The partition window active at t, or nullptr.
+  /// The partition cut active at t, or nullptr. Flapping windows are
+  /// pre-expanded into their cut episodes; the pointer identifies one
+  /// episode and stays stable for the plane's lifetime.
   const PartitionWindow* partition_at(double t) const;
+  /// Number of cut episodes after flap expansion.
+  int partition_cuts() const { return static_cast<int>(expanded_.size()); }
   /// Whether router r sits on the minority side of an active partition.
   bool router_minority(int r, double t) const;
   /// Whether replica i is cut off with the minority side at t.
   bool replica_minority(int i, double t) const;
-  /// Whether router r can reach replica i at t (same partition side;
-  /// always true outside a partition window).
+  /// Whether router r can dispatch onto replica i at t: same side, or the
+  /// cross-cut direction router-side -> replica-side is open.
   bool reachable(int router, int replica, double t) const;
+  /// Whether a completion from replica i can reach the router that
+  /// dispatched it. Clean cuts keep PR 4's assumption that established
+  /// response streams survive; on an asymmetric cut the reply must cross
+  /// replica-side -> router-side along an open direction.
+  bool reply_reachable(int replica, int router, double t) const;
+  /// Whether a majority-initiated cancel reaches replica i at t.
+  bool cancel_reachable(int replica, double t) const;
+  /// Whether replica i's heartbeat reaches the majority-side monitor.
+  bool heartbeat_crosses(int replica, double t) const;
+  /// Whether replica i can ship KV toward the majority-side drain target
+  /// (always true unless the partition severs the drain fabric).
+  bool drain_reachable(int replica, double t) const;
+  /// Whether router r has fenced itself at t: it sits on a minority side
+  /// with no strict router majority, the quorum policy fences, and the
+  /// grace (if any) has expired for the current cut episode.
+  bool router_fenced(int r, double t) const;
   /// A minority router's view is frozen for the partition's duration: it
   /// receives no syncs and routes on the snapshot it held at the cut.
   bool frozen_view(int router, double t) const {
@@ -179,7 +281,8 @@ class ControlPlane {
   }
   /// Lowest-index live majority-side router at t, or -1.
   int majority_survivor(double t) const;
-  /// Earliest partition start/end edge strictly after t, or +infinity.
+  /// Earliest partition start/end/fence edge strictly after t, or
+  /// +infinity. Flap expansion makes every episode edge an event here.
   double next_partition_transition_after(double t) const;
 
   /// Whether routers hold independently aging views (vs one live view).
@@ -206,11 +309,18 @@ class ControlPlane {
   Router& router(int idx) { return routers_[static_cast<std::size_t>(idx)]; }
 
  private:
+  /// Time at which the minority side of cut episode w fences, or +inf
+  /// when its side never fences (has quorum, or quorum = kServeStale).
+  double fence_time(const PartitionWindow& w) const;
+
   ControlPlaneConfig cfg_;
   FaultSchedule schedule_;
   std::vector<Router> routers_;
   std::vector<std::vector<char>> views_;  ///< router -> replica routable
   std::vector<double> next_sync_;
+  /// Flap-expanded cut episodes; identical to cfg_.partition.windows when
+  /// nothing flaps. partition_at() and the transition queries walk these.
+  std::vector<PartitionWindow> expanded_;
   double disagreement_s_ = 0.0;
 };
 

@@ -43,16 +43,16 @@ double FaultSchedule::next_transition_after(double t) const {
   return best;
 }
 
+double jitter_uniform(std::uint64_t key) {
+  std::uint64_t state = key + 0x9E3779B97F4A7C15ull;
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
 double RetryPolicy::delay(int attempt, std::uint64_t jitter_key) const {
   MIB_ENSURE(attempt >= 1, "retry attempts are 1-based");
   const double base = backoff_s * std::pow(multiplier, attempt - 1);
   if (jitter <= 0.0) return base;
-  // Stateless uniform draw in [0, 1) from the key: one splitmix64 step,
-  // the same construction the conversation hash uses.
-  std::uint64_t state = jitter_key + 0x9E3779B97F4A7C15ull;
-  const double u =
-      static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
-  return base * (1.0 - jitter * u);
+  return base * (1.0 - jitter * jitter_uniform(jitter_key));
 }
 
 }  // namespace mib::fleet

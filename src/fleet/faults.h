@@ -52,6 +52,13 @@ class FaultSchedule {
   std::vector<FaultWindow> windows_;
 };
 
+/// Stateless uniform draw in [0, 1) from a hash key: one splitmix64 step,
+/// the same construction the conversation hash uses. Shared by the
+/// server-side RetryPolicy jitter and the partition client-backoff jitter
+/// so every jittered schedule in the fleet is reproducible from (seed,
+/// request id, attempt) alone.
+double jitter_uniform(std::uint64_t key);
+
 /// Exponential-backoff retry for requests evacuated from a failed replica.
 struct RetryPolicy {
   double backoff_s = 0.05;   ///< delay before the first re-route

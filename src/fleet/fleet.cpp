@@ -244,6 +244,17 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       mem_.kv_bytes_per_token_per_device() *
       static_cast<double>(cfg_.engine.cluster.size());
 
+  // Failure-domain spread groups for topology-aware autoscaler placement
+  // (empty strings when the feature or the topology is off).
+  std::vector<std::string> spread_group(static_cast<std::size_t>(pool));
+  if (cfg_.autoscaler.enabled && cfg_.autoscaler.topology_aware &&
+      cfg_.topology.enabled()) {
+    const Topology topo(cfg_.topology, pool);
+    for (int i = 0; i < pool; ++i) {
+      spread_group[static_cast<std::size_t>(i)] = topo.spread_group_of(i);
+    }
+  }
+
   FleetReport rep;
   rep.submitted = static_cast<long long>(n);
   rep.requests.resize(n);
@@ -260,6 +271,9 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   struct PendingMigration {
     double ready_s = 0.0;
     Sequence seq;
+    /// Source replica the KV is shipping out of (drain-fabric severing
+    /// aborts in-flight transfers whose source lands behind a cut).
+    int src = -1;
   };
   std::vector<PendingMigration> migrations;
   /// Overlap drain: a running sequence whose KV snapshot copy completes at
@@ -299,16 +313,22 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   std::priority_queue<HedgeTimer> hedge_timers;
   std::vector<char> hedge_fired(n, 0);
 
-  // Split-brain state: the client's retry patience arms one timer per
-  // minority-homed dispatch; when it fires with the partition still up and
-  // no first token out, the majority admits a duplicate copy.
+  // Split-brain state: the client's retry patience arms a timer per
+  // affected dispatch; when it fires with the partition still up and no
+  // first token visible, the majority admits a duplicate copy. With
+  // max_client_retries > 1 the patience re-arms on a full-jitter
+  // exponential backoff (the gray-failure client model); the defaults
+  // reproduce PR 4's single fixed timer bit-for-bit.
   struct DupTimer {
     double at = 0.0;
     int id = -1;
     bool operator<(const DupTimer& o) const { return at > o.at; }  // min-heap
   };
   std::priority_queue<DupTimer> dup_timers;
-  std::vector<char> dup_armed(n, 0);
+  /// Patience attempts armed so far per request, and whether one is
+  /// currently pending in `dup_timers`.
+  std::vector<int> client_attempts(n, 0);
+  std::vector<char> client_timer_pending(n, 0);
   /// Requests ever double-dispatched (heal-lag drain scan).
   std::vector<int> dup_ids;
   /// Heal edges whose duplicates have not all resolved yet.
@@ -348,10 +368,13 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
   for (const auto& s : intake) {
     max_steps += s.input_tokens + s.output_tokens + 4;
   }
-  max_steps = std::max<long long>(max_steps, 1024) * 4 *
-              (1 + cfg_.retry.max_retries) * (cfg_.hedge.enabled ? 2 : 1) *
-              (partitions ? 2 : 1) *
-              (1 + static_cast<long long>(cfg_.maintenance.size()));
+  max_steps =
+      std::max<long long>(max_steps, 1024) * 4 *
+      (1 + cfg_.retry.max_retries) * (cfg_.hedge.enabled ? 2 : 1) *
+      (partitions ? 1 + std::max(1, cfg_.control.partition.max_client_retries) +
+                        static_cast<long long>(plane.partition_cuts())
+                  : 1) *
+      (1 + static_cast<long long>(cfg_.maintenance.size()));
 
   auto total_steps = [&] {
     long long t = 0;
@@ -436,6 +459,33 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       ++rep.hedges_cancelled;
     }
   };
+  // Arm (or re-arm) the client's patience timer for `id` at time t.
+  // Attempt k fires after client_retry_s * retry_multiplier^(k-1), shrunk
+  // by full jitter when retry_jitter > 0; the jitter key is a distinct
+  // salt from the server-side retry stream so the two schedules never
+  // correlate. Returns false when an attempt is already pending or the
+  // client's retry budget is spent. The defaults (multiplier 1, jitter 0,
+  // one attempt) reproduce PR 4's single fixed patience bit-for-bit.
+  auto arm_client_timer = [&](int id, double t) {
+    const auto u = static_cast<std::size_t>(id);
+    const auto& pc = cfg_.control.partition;
+    if (client_timer_pending[u] || client_attempts[u] >= pc.max_client_retries) {
+      return false;
+    }
+    const int attempt = ++client_attempts[u];
+    client_timer_pending[u] = 1;
+    double delay = pc.client_retry_s;
+    for (int k = 1; k < attempt; ++k) delay *= pc.retry_multiplier;
+    if (pc.retry_jitter > 0.0) {
+      const std::uint64_t key =
+          mix(cfg_.seed ^ 0xC11E27ull,
+              mix(static_cast<std::uint64_t>(id),
+                  static_cast<std::uint64_t>(attempt)));
+      delay *= 1.0 - pc.retry_jitter * jitter_uniform(key);
+    }
+    dup_timers.push(DupTimer{t + delay, id});
+    return true;
+  };
   auto dispatch_via = [&](int rtr, Sequence seq, double t) {
     const auto up = routable_for(rtr, t);
     if (up.empty()) {
@@ -483,6 +533,14 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       // Breaker open but the node is alive (a false-positive open): the
       // stale dispatch lands and is simply served.
     }
+    if (partitions && !plane.reply_reachable(idx, rtr, t)) {
+      // Cross-cut dispatch over an asymmetric link: the copy can decode
+      // to completion without the dispatching side ever hearing back.
+      // Patience must be ticking or the request would leak with its
+      // orphan.
+      arm_client_timer(seq.request_id, t);
+    }
+    seq.via_router = rtr;
     reps[static_cast<std::size_t>(idx)].enqueue(seq);
   };
   auto dispatch = [&](Sequence seq, double t) {
@@ -502,13 +560,27 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
           // No live majority router: fall through to the home-router
           // stranding machinery below.
         }
-      } else if (!dup_armed[u] && plane.router_minority(home, t)) {
+      } else if (plane.router_fenced(home, t)) {
+        // Quorum self-fencing: the minority home router knows it lost the
+        // router majority and refuses the dispatch outright, so the
+        // client re-homes to the majority survivor instead of burning
+        // patience against a side that will not answer.
+        ++rep.quorum_fenced;
+        rep.requests[u].quorum_rehomed = true;
+        const int rtr = plane.majority_survivor(t);
+        if (rtr >= 0) {
+          dispatch_via(rtr, std::move(seq), t);
+          return;
+        }
+        // No live majority router either: strand client-side until the
+        // fail-over lag passes (3i' re-checks fencing on re-entry).
+        router_pending.push_back(
+            RouterPending{t + cfg_.control.failover_detection_s, seq});
+        return;
+      } else if (plane.router_minority(home, t)) {
         // Minority-homed dispatch during a partition: the client's retry
         // patience starts ticking toward a majority-side double dispatch.
-        dup_armed[u] = 1;
-        dup_timers.push(
-            DupTimer{t + cfg_.control.partition.client_retry_s,
-                     seq.request_id});
+        arm_client_timer(seq.request_id, t);
       }
     }
     if (!plane.router_up(home, t)) {
@@ -532,10 +604,11 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
     const auto u = static_cast<std::size_t>(id);
     if (copies[u] <= 1) return;
     for (int r = 0; r < pool; ++r) {
-      // A cancel cannot cross an active partition: a stray copy on a
-      // cut-off minority replica keeps burning until the heal fences it
-      // (or until it completes as a photo-finish loser).
-      if (partitions && plane.replica_minority(r, now)) continue;
+      // A cancel cannot cross an active partition unless the cut leaves
+      // the majority->minority direction open: a stray copy behind a full
+      // cut keeps burning until the heal fences it (or until it completes
+      // as a photo-finish loser).
+      if (partitions && !plane.cancel_reachable(r, now)) continue;
       Sequence s;
       while (copies[u] > 1 && reps[static_cast<std::size_t>(r)].take(id, &s)) {
         --copies[u];
@@ -709,11 +782,14 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
         const auto u = static_cast<std::size_t>(i);
         while (next_hb[u] <= now) {
           const double emit = next_hb[u];
-          // A minority replica's heartbeats cannot cross the partition:
-          // the (majority-side) monitor will suspect it and open its
-          // breaker even though it is up and serving its own side.
+          // A minority replica's heartbeats cannot cross a full cut: the
+          // (majority-side) monitor will suspect it and open its breaker
+          // even though it is up and serving its own side. An asymmetric
+          // cut with the minority->majority direction open still delivers
+          // them — the gray failure where the node looks healthy while
+          // its replies are lost.
           if (active[u] && !in_maint[u] && faults.up(i, emit) &&
-              !(partitions && plane.replica_minority(i, emit))) {
+              (!partitions || plane.heartbeat_crosses(i, emit))) {
             monitor.on_heartbeat(i, emit);
           }
           next_hb[u] = emit + hb_period(i, emit);
@@ -747,6 +823,10 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
           next_hb[u] = kInf;
         }
         if (active[u]) {
+          // A severed drain fabric (the source behind a cut with
+          // sever_drain_fabric set) cannot ship KV at all: every drain on
+          // this replica falls back to evacuate-and-recompute.
+          const bool severed = partitions && !plane.drain_reachable(i, now);
           double cursor = now;  // transfers serialize on the striped fabric
           auto frozen_migrate = [&](Sequence s) {
             const auto id = static_cast<std::size_t>(s.request_id);
@@ -759,7 +839,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
             rep.migrated_kv_tokens += s.kv_tokens();
             rep.migration_s.add(cursor - now);
             rep.requests[id].migrated = true;
-            migrations.push_back(PendingMigration{cursor, s});
+            migrations.push_back(PendingMigration{cursor, s, i});
           };
           auto redispatch = [&](Sequence s) {
             // Nothing resident to move (still queued), or recompute
@@ -774,7 +854,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
             retries.push_back(PendingRetry{now, s});
           };
           const bool overlap = cfg_.migration.overlap_decode &&
-                               cfg_.migration.migrate_kv &&
+                               cfg_.migration.migrate_kv && !severed &&
                                reps[u].running_count() > 0;
           if (overlap) {
             // Overlap drain: queued work re-enters elsewhere right away;
@@ -805,7 +885,12 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
               MIB_ENSURE(!done[static_cast<std::size_t>(s.request_id)],
                          "drained copy of a resolved request");
               if (cfg_.migration.migrate_kv && s.kv_tokens() > 0) {
-                frozen_migrate(std::move(s));
+                if (severed) {
+                  ++rep.migration_aborts;
+                  redispatch(std::move(s));
+                } else {
+                  frozen_migrate(std::move(s));
+                }
               } else {
                 redispatch(std::move(s));
               }
@@ -827,10 +912,11 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
             }
           }
           double cursor = now;
+          const bool severed = partitions && !plane.drain_reachable(i, now);
           for (auto& s : reps[u].take_all()) {
             const auto id = static_cast<std::size_t>(s.request_id);
             MIB_ENSURE(!done[id], "drained copy of a resolved request");
-            if (s.kv_tokens() > 0) {
+            if (s.kv_tokens() > 0 && !severed) {
               const double xfer =
                   cfg_.migration.per_sequence_overhead_s +
                   migration_link.p2p(static_cast<double>(s.kv_tokens()) *
@@ -840,8 +926,12 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
               rep.migrated_kv_tokens += s.kv_tokens();
               rep.migration_s.add(cursor - now);
               rep.requests[id].migrated = true;
-              migrations.push_back(PendingMigration{cursor, s});
+              migrations.push_back(PendingMigration{cursor, s, i});
             } else {
+              if (s.kv_tokens() > 0) {
+                ++rep.migration_aborts;
+                ++rep.drain_evacuations;
+              }
               s.prefilled = 0;
               s.generated = 0;
               s.first_token_s = -1.0;
@@ -947,8 +1037,44 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
             }
           }
           pending_heals.push_back(now);
+          ++rep.partition_flaps;
         }
         active_part = cur;
+        if (cur != nullptr && cfg_.control.partition.sever_drain_fabric) {
+          // The new cut severs the drain fabric: KV transfers out of a
+          // now-isolated source abort mid-stripe and fall back to
+          // evacuate-and-recompute — the shipped bytes are wasted and the
+          // sequence re-prefills from scratch on the other side.
+          auto recompute = [&](Sequence s) {
+            ++rep.migration_aborts;
+            if (s.kv_tokens() > 0) ++rep.drain_evacuations;
+            s.prefilled = 0;
+            s.generated = 0;
+            s.first_token_s = -1.0;
+            s.prefix_hit = false;
+            retries.push_back(PendingRetry{now, std::move(s)});
+          };
+          for (auto it = migrations.begin(); it != migrations.end();) {
+            if (it->src >= 0 && !plane.drain_reachable(it->src, now)) {
+              recompute(std::move(it->seq));
+              it = migrations.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          for (auto it = handoffs.begin(); it != handoffs.end();) {
+            if (!plane.drain_reachable(it->replica, now)) {
+              Sequence s;
+              if (reps[static_cast<std::size_t>(it->replica)].take(it->id,
+                                                                   &s)) {
+                recompute(std::move(s));
+              }
+              it = handoffs.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
       }
     }
 
@@ -967,6 +1093,24 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
           MIB_ENSURE(copies[id] > 0, "completed copy of a resolved request");
           --copies[id];
           count_cancelled(s);
+          continue;
+        }
+        if (partitions && s.via_router >= 0 &&
+            !plane.reply_reachable(i, s.via_router, now)) {
+          // Orphaned decode: the copy finished behind an asymmetric cut
+          // and its completion cannot reach the side that dispatched it.
+          // The replica's work is gone; the client is still waiting.
+          --copies[id];
+          ++rep.orphaned_completions;
+          rep.lost_completion_s += s.served_s;
+          rep.requests[id].orphaned = true;
+          if (copies[id] == 0 && !client_timer_pending[id] &&
+              !arm_client_timer(s.request_id, now)) {
+            // No copy left anywhere and the client's patience budget is
+            // spent: the request is lost with its answer on the wire.
+            record_terminal(s, RequestStatus::kLost);
+            ++rep.lost;
+          }
           continue;
         }
         auto& rec = rep.requests[id];
@@ -1033,7 +1177,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
         rep.migrated_kv_tokens += s.kv_tokens();
         rep.migration_s.add(ready - h.drain_start);
         rep.requests[id].migrated = true;
-        migrations.push_back(PendingMigration{ready, s});
+        migrations.push_back(PendingMigration{ready, s, h.replica});
       }
     }
 
@@ -1129,10 +1273,25 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
                                 std::tie(b.ready_s, b.seq.request_id);
                        });
       for (auto& p : due) {
-        const int rtr = plane.survivor(now);
+        int rtr = plane.survivor(now);
+        if (rtr >= 0 && partitions && plane.router_fenced(rtr, now)) {
+          // The lowest live router has fenced itself off: fail over to a
+          // live router that is still admitting, if any.
+          rtr = -1;
+          for (int r = 0; r < cfg_.control.routers; ++r) {
+            if (plane.router_up(r, now) && !plane.router_fenced(r, now)) {
+              rtr = r;
+              break;
+            }
+          }
+        }
         if (rtr < 0) {
-          // The whole front end is dark: wait for any router to return.
-          const double wake = plane.next_router_transition_after(now);
+          // The whole front end is dark (or fenced): wait for a router to
+          // return or a partition edge to lift the fence.
+          double wake = plane.next_router_transition_after(now);
+          if (partitions) {
+            wake = std::min(wake, plane.next_partition_transition_after(now));
+          }
           MIB_ENSURE(std::isfinite(wake),
                      "every router dark with no recovery scheduled");
           router_pending.push_back(RouterPending{wake, std::move(p.seq)});
@@ -1152,6 +1311,26 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       bool started = false;
       for (const auto& r : reps) started = started || r.started(id);
       if (started) continue;  // first token is out, nothing to hedge
+      if (cfg_.hedge.max_utilization < 1.0) {
+        // Utilization gate: hedging into a saturated fleet adds load
+        // exactly when there is no slack to absorb it and makes the tail
+        // worse, not better. Gate on the busy fraction of in-service
+        // replicas.
+        int in_service = 0;
+        int busy = 0;
+        for (int r = 0; r < pool; ++r) {
+          const auto ru = static_cast<std::size_t>(r);
+          if (!active[ru] || draining[ru] || in_maint[ru]) continue;
+          ++in_service;
+          if (reps[ru].mid_step() || reps[ru].has_work()) ++busy;
+        }
+        const double util =
+            in_service > 0 ? static_cast<double>(busy) / in_service : 1.0;
+        if (util > cfg_.hedge.max_utilization) {
+          ++rep.hedges_suppressed;
+          continue;
+        }
+      }
       if (cfg_.hedge.sheddable &&
           queued_total() >= cfg_.admission.queue_capacity) {
         // A hedge is optional work: it respects admission capacity and is
@@ -1189,6 +1368,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       ++copies[u];
       ++rep.hedges_issued;
       rep.requests[u].hedged = true;
+      copy.via_router = rtr;
       reps[static_cast<std::size_t>(idx)].enqueue(copy);
     }
 
@@ -1201,12 +1381,40 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       const int id = dup_timers.top().id;
       dup_timers.pop();
       const auto u = static_cast<std::size_t>(id);
+      client_timer_pending[u] = 0;
       if (done[u]) continue;
+      if (copies[u] == 0) {
+        // Every copy of this request evaporated — orphaned behind an
+        // asymmetric cut with no retry pending. The client's patience
+        // expired with nothing in flight: re-send from scratch. This is a
+        // fresh dispatch (it re-enters at the home router), not a
+        // split-brain duplicate.
+        ++rep.client_resends;
+        ++copies[u];
+        Sequence fresh = blank[u];
+        dispatch(std::move(fresh), now);
+        continue;
+      }
       if (plane.partition_at(now) == nullptr) continue;  // healed in time
-      if (!plane.router_minority(plane.assigned_router(id), now)) continue;
-      bool started = false;
-      for (const auto& r : reps) started = started || r.started(id);
-      if (started) continue;  // tokens are flowing to the client
+      // A copy whose replies cannot cross back to the side that dispatched
+      // it is invisible to the client even after its first token.
+      bool visible_start = false;
+      bool any_unreachable = false;
+      for (int r = 0; r < pool; ++r) {
+        const auto ru = static_cast<std::size_t>(r);
+        const Sequence* c = reps[ru].find(id);
+        if (c == nullptr) continue;
+        if (c->via_router >= 0 && !plane.reply_reachable(r, c->via_router, now)) {
+          any_unreachable = true;
+        } else if (reps[ru].started(id)) {
+          visible_start = true;
+        }
+      }
+      if (!plane.router_minority(plane.assigned_router(id), now) &&
+          !any_unreachable) {
+        continue;  // majority-homed and every copy can answer: no retry
+      }
+      if (visible_start) continue;  // tokens are flowing to the client
       // The retry is real client traffic, but the majority only admits it
       // if its own queues have room.
       long long maj_queued = 0;
@@ -1214,9 +1422,30 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
         if (plane.replica_minority(i, now)) continue;
         maj_queued += reps[static_cast<std::size_t>(i)].queue_depth();
       }
-      if (maj_queued >= cfg_.admission.queue_capacity) continue;
+      if (maj_queued >= cfg_.admission.queue_capacity) {
+        arm_client_timer(id, now);  // keep waiting, with backoff
+        continue;
+      }
       const int rtr = plane.majority_survivor(now);
-      if (rtr < 0) continue;  // no live majority router to retry against
+      if (rtr < 0) {
+        arm_client_timer(id, now);  // no live majority router to retry at
+        continue;
+      }
+      // At most one un-started duplicate in flight at a time: a later
+      // patience expiry re-sends only after the previous duplicate died.
+      bool dup_live = false;
+      for (int r = 0; r < pool && !dup_live; ++r) {
+        const Sequence* c = reps[static_cast<std::size_t>(r)].find(id);
+        dup_live = c != nullptr && c->is_partition_dup;
+      }
+      for (const auto& p : retries) {
+        dup_live = dup_live ||
+                   (p.seq.request_id == id && p.seq.is_partition_dup);
+      }
+      if (dup_live) {
+        arm_client_timer(id, now);
+        continue;
+      }
       Sequence copy = blank[u];
       copy.is_partition_dup = true;
       ++copies[u];
@@ -1224,6 +1453,7 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
       rep.requests[u].double_dispatched = true;
       dup_ids.push_back(id);
       dispatch_via(rtr, std::move(copy), now);
+      arm_client_timer(id, now);
     }
 
     // --- 3k. autoscaler tick ---
@@ -1249,19 +1479,55 @@ FleetReport FleetSimulator::run(const std::vector<FleetRequest>& trace) const {
         }
         const int decision = scaler.decide(queued, n_active, any_idle);
         if (decision > 0) {
-          for (int i = 0; i < pool; ++i) {
-            const auto u = static_cast<std::size_t>(i);
-            // Activation health-checks the standby (a probe, not routing).
-            if (on_side(i) && !active[u] && !in_maint[u] && faults.up(i, now)) {
-              active[u] = true;
-              if (!oracle) {
-                monitor.resume(i, now);
-                next_hb[u] = now + hb_period(i, now);
+          int pick = -1;
+          if (cfg_.autoscaler.topology_aware && cfg_.topology.enabled()) {
+            // Spread placement: among eligible standbys pick the one whose
+            // failure domain holds the fewest active replicas, so one rack
+            // or switch failure takes out as little of the fleet as
+            // possible (ties break to the lowest index).
+            int best = pool + 1;
+            for (int i = 0; i < pool; ++i) {
+              const auto u = static_cast<std::size_t>(i);
+              if (!on_side(i) || active[u] || in_maint[u] ||
+                  !faults.up(i, now)) {
+                continue;
               }
-              rep.scale_events.push_back(
-                  ScaleEvent{now, "add", i, queued, n_active + 1});
-              break;
+              int in_group = 0;
+              if (!spread_group[u].empty()) {
+                for (int j = 0; j < pool; ++j) {
+                  const auto v = static_cast<std::size_t>(j);
+                  if (active[v] && !draining[v] &&
+                      spread_group[v] == spread_group[u]) {
+                    ++in_group;
+                  }
+                }
+              }
+              if (in_group < best) {
+                best = in_group;
+                pick = i;
+              }
             }
+          } else {
+            for (int i = 0; i < pool; ++i) {
+              const auto u = static_cast<std::size_t>(i);
+              // Activation health-checks the standby (a probe, not
+              // routing).
+              if (on_side(i) && !active[u] && !in_maint[u] &&
+                  faults.up(i, now)) {
+                pick = i;
+                break;
+              }
+            }
+          }
+          if (pick >= 0) {
+            const auto u = static_cast<std::size_t>(pick);
+            active[u] = true;
+            if (!oracle) {
+              monitor.resume(pick, now);
+              next_hb[u] = now + hb_period(pick, now);
+            }
+            rep.scale_events.push_back(
+                ScaleEvent{now, "add", pick, queued, n_active + 1});
           }
         } else if (decision < 0) {
           for (int i = pool - 1; i >= 0; --i) {

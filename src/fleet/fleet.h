@@ -217,6 +217,26 @@ struct FleetReport {
   /// resolved (fence drains immediately; first-commit-wins races on).
   Samples partition_heal_lag_s;
 
+  // --- gray failures ---
+  /// Copies that decoded to completion behind an asymmetric cut whose
+  /// completion could not cross back to the dispatching side.
+  long long orphaned_completions = 0;
+  /// Replica time burned by orphaned decodes — work done, result lost.
+  double lost_completion_s = 0.0;
+  /// Client re-sends issued after every live copy of a request had been
+  /// lost (orphaned or crashed with no retry pending).
+  long long client_resends = 0;
+  /// Dispatches refused by a self-fenced minority router (quorum lost)
+  /// and re-homed to the majority survivor.
+  long long quorum_fenced = 0;
+  /// Cut -> heal edges observed; a flapping window counts every episode.
+  long long partition_flaps = 0;
+  /// KV drains aborted (or never attempted) because the partition severed
+  /// the replica-to-replica fabric; each falls back to recompute.
+  long long migration_aborts = 0;
+  /// Hedges withheld by the utilization gate (hedge.max_utilization).
+  long long hedges_suppressed = 0;
+
   /// Replicas that executed at least one step (shows autoscaler growth).
   int replicas_used = 0;
   std::vector<ReplicaReport> replicas;     ///< one per pool slot

@@ -33,6 +33,13 @@ struct HedgeConfig {
   /// work; primaries must not be rejected to make room for insurance).
   /// false: hedges bypass admission entirely — the PR 2 behaviour.
   bool sheddable = true;
+  /// Utilization gate (the other half of the tail-at-scale recipe): a
+  /// hedge only fires while the fraction of in-service replicas that are
+  /// busy is at or below this. Near saturation the extra copies stop —
+  /// hedging into a fleet with no spare capacity pushes the one healthy
+  /// replica over the edge instead of protecting the tail. 1.0 = never
+  /// gate (PR 2/3 behaviour).
+  double max_utilization = 1.0;
 
   void validate() const {
     MIB_ENSURE(delay_s >= 0.0, "negative hedge delay");
@@ -40,6 +47,8 @@ struct HedgeConfig {
                "hedge percentile must lie in (0, 100)");
     MIB_ENSURE(min_delay_s > 0.0, "hedge delay floor must be > 0");
     MIB_ENSURE(min_samples >= 1, "hedge needs at least one warmup sample");
+    MIB_ENSURE(max_utilization > 0.0 && max_utilization <= 1.0,
+               "hedge utilization gate must lie in (0, 1]");
   }
 };
 

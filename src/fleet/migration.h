@@ -10,6 +10,12 @@
 // replica (one NIC), so the recompute-vs-migrate tradeoff is a real
 // crossover: tiny contexts re-prefill faster than they ship, deep
 // contexts are far cheaper to move.
+//
+// The drain fabric rides the same network the control plane does: with
+// partition.sever_drain_fabric set, a cut that isolates the source replica
+// aborts its in-flight migrations mid-stripe (and blocks new ones) — the
+// drain falls back to evacuate-and-recompute until the cut heals (see
+// control_plane.h, PartitionConfig).
 #pragma once
 
 #include "common/error.h"

@@ -34,6 +34,10 @@ struct Sequence {
   /// This copy is the majority-side re-admission of a request a partition
   /// minority already holds (split-brain double dispatch).
   bool is_partition_dup = false;
+  /// The front-end router that dispatched this copy (-1 before dispatch).
+  /// On an asymmetric partition the completion must cross back to this
+  /// router's side — if that direction is dark the decode is orphaned.
+  int via_router = -1;
 
   // progress
   int prefilled = 0;

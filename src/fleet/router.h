@@ -10,6 +10,11 @@
 //    new conversations or when the pinned replica is down/draining. Pins
 //    survive outages (the prefix may still be warm after recovery), the
 //    fallback routing is temporary.
+//
+// Routers never see the network directly: the fleet loop hands route()
+// a routable set already filtered through the control plane (breaker
+// views, partition reachability — including the per-direction links of an
+// asymmetric cut — and quorum fencing; see control_plane.h).
 #pragma once
 
 #include <cstdint>

@@ -54,6 +54,12 @@ struct RequestRecord {
   /// Goodput still counts it at most once — whichever copy commits first.
   bool double_dispatched = false;
   bool fenced = false;  ///< a minority-side copy was cancelled at heal
+  /// A copy finished behind an asymmetric cut and its completion never
+  /// reached the dispatching side (the decode was orphaned).
+  bool orphaned = false;
+  /// The home router had fenced itself (quorum lost) and the dispatch was
+  /// re-homed straight to the majority survivor.
+  bool quorum_rehomed = false;
 
   bool completed() const { return status == RequestStatus::kCompleted; }
   double ttft() const { return first_token_s - arrival_s; }

@@ -75,6 +75,16 @@ Topology::Topology(const TopologyConfig& cfg, int pool)
     attachment_[r] = index_of(cfg.replica_domain[r]);
     attachment_name_[r] = cfg.replica_domain[r];
   }
+  spread_group_.assign(static_cast<std::size_t>(pool), "");
+  for (std::size_t r = 0; r < attachment_.size(); ++r) {
+    const int at = attachment_[r];
+    if (at < 0) continue;  // isolated: no shared blast radius
+    const int up = parent_[static_cast<std::size_t>(at)];
+    // Replicas usually attach to leaf "node" domains; the blast radius a
+    // placement should spread over is the level above (the rack). A
+    // root-level attachment is its own group.
+    spread_group_[r] = domains_[static_cast<std::size_t>(up >= 0 ? up : at)].name;
+  }
 }
 
 int Topology::index_of(const std::string& name) const {
@@ -90,6 +100,10 @@ bool Topology::has_domain(const std::string& name) const {
 
 const std::string& Topology::domain_of(int replica) const {
   return attachment_name_[static_cast<std::size_t>(replica)];
+}
+
+const std::string& Topology::spread_group_of(int replica) const {
+  return spread_group_[static_cast<std::size_t>(replica)];
 }
 
 std::vector<int> Topology::replicas_under(const std::string& domain) const {
@@ -180,15 +194,28 @@ WarmupPlan plan_warmup(const WarmupConfig& cfg,
     const auto merged = merge_intervals(std::move(iv));
     for (std::size_t k = 0; k < merged.size(); ++k) {
       const double recover = merged[k].second;
+      // Down-time-dependent ramp: a blip shorter than the reference only
+      // partially cools the replica, so it pays a proportionally shorter
+      // and shallower staircase. downtime_ref_s == 0 copies the config
+      // values untouched (PR 3, bitwise).
+      double duration = cfg.duration_s;
+      double initial = cfg.initial_scale;
+      if (cfg.downtime_ref_s > 0.0) {
+        const double frac = std::min(
+            1.0, (recover - merged[k].first) / cfg.downtime_ref_s);
+        duration = cfg.duration_s * frac;
+        initial = 1.0 - (1.0 - cfg.initial_scale) * frac;
+      }
+      if (duration <= 0.0) continue;
       // Clip the staircase at the next down edge so warm-up windows for
       // one replica never overlap each other.
       const double limit = k + 1 < merged.size()
                                ? std::min(merged[k + 1].first,
-                                          recover + cfg.duration_s)
-                               : recover + cfg.duration_s;
+                                          recover + duration)
+                               : recover + duration;
       if (limit <= recover) continue;
       ++plan.recoveries;
-      const double step = cfg.duration_s / cfg.ramp_steps;
+      const double step = duration / cfg.ramp_steps;
       for (int s = 0; s < cfg.ramp_steps; ++s) {
         // Both edges from the same expression so consecutive windows meet
         // bitwise exactly ((lo + step) can differ from the next lo by an
@@ -196,9 +223,8 @@ WarmupPlan plan_warmup(const WarmupConfig& cfg,
         const double lo = recover + s * step;
         const double hi = std::min(limit, recover + (s + 1) * step);
         if (hi <= lo) break;
-        const double f = cfg.initial_scale +
-                         (1.0 - cfg.initial_scale) *
-                             (static_cast<double>(s) / cfg.ramp_steps);
+        const double f = initial + (1.0 - initial) *
+                                       (static_cast<double>(s) / cfg.ramp_steps);
         // Cold caches and JIT hit compute and memory; the NIC is warm.
         plan.windows.push_back(
             DegradationWindow{replica, lo, hi, PerfScale{f, f, 1.0}});

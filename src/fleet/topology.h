@@ -92,6 +92,11 @@ class Topology {
   std::vector<int> replicas_under(const std::string& domain) const;
   /// The domain `replica` attaches to, or "" for an isolated node.
   const std::string& domain_of(int replica) const;
+  /// The failure domain a placement decision should spread over: the
+  /// parent of the replica's attachment domain (the rack above the node),
+  /// or the attachment itself when it hangs off the root. "" for an
+  /// isolated replica — it shares a blast radius with nobody.
+  const std::string& spread_group_of(int replica) const;
 
  private:
   int index_of(const std::string& name) const;  ///< -1 when absent
@@ -100,6 +105,7 @@ class Topology {
   std::vector<int> parent_;          ///< domain index -> parent index or -1
   std::vector<int> attachment_;      ///< replica -> domain index or -1
   std::vector<std::string> attachment_name_;
+  std::vector<std::string> spread_group_;  ///< replica -> placement group
 };
 
 /// Expand domain faults over the topology and merge them with the explicit
@@ -123,12 +129,20 @@ struct WarmupConfig {
   double duration_s = 0.3;     ///< ramp length after a recovery edge
   double initial_scale = 0.5;  ///< flops/mem_bw fraction right at recovery
   int ramp_steps = 4;          ///< staircase resolution of the linear ramp
+  /// Down-time-dependent ramps: with downtime_ref_s > 0 an outage of
+  /// length d ramps for duration_s * min(1, d / downtime_ref_s) starting
+  /// at 1 - (1 - initial_scale) * min(1, d / downtime_ref_s). A short
+  /// blip barely cools the caches, so it barely ramps; outages at or
+  /// beyond the reference pay the full configured staircase. 0 = every
+  /// recovery pays the full ramp (PR 3, bitwise).
+  double downtime_ref_s = 0.0;
 
   void validate() const {
     MIB_ENSURE(duration_s > 0.0, "warm-up duration must be > 0");
     MIB_ENSURE(initial_scale > 0.0 && initial_scale <= 1.0,
                "warm-up initial scale must lie in (0, 1]");
     MIB_ENSURE(ramp_steps >= 1, "warm-up needs at least one ramp step");
+    MIB_ENSURE(downtime_ref_s >= 0.0, "negative warm-up down-time reference");
   }
 };
 

@@ -159,8 +159,61 @@ FleetConfig chaos_cfg(std::uint64_t seed) {
       w2.minority_routers = {1};
       fc.control.partition.windows.push_back(w2);
     }
+    // Gray-failure knobs (drawn after every PR 4 draw so those keep their
+    // historical streams): asymmetric links, flapping, quorum fencing,
+    // client backoff, drain-fabric severing.
+    if (rng.bernoulli(0.4)) {
+      auto& w0 = fc.control.partition.windows[0];
+      if (rng.bernoulli(0.5)) {
+        w0.open_to_minority = true;  // dispatches land, replies are lost
+      } else {
+        w0.open_to_majority = true;
+      }
+    }
+    if (rng.bernoulli(0.3)) {
+      auto& w0 = fc.control.partition.windows[0];
+      w0.flap_period_s = rng.uniform(0.05, 0.2);
+      w0.flap_duty = rng.uniform(0.3, 0.9);
+    }
+    if (rng.bernoulli(0.35)) {
+      fc.control.partition.quorum = rng.bernoulli(0.5)
+                                        ? QuorumPolicy::kFenceAtCut
+                                        : QuorumPolicy::kFenceAfterGrace;
+      fc.control.partition.quorum_grace_s = rng.uniform(0.0, 0.05);
+    }
+    if (rng.bernoulli(0.4)) {
+      fc.control.partition.max_client_retries =
+          2 + static_cast<int>(rng.uniform_index(3));
+      fc.control.partition.retry_multiplier = rng.uniform(1.0, 2.0);
+      fc.control.partition.retry_jitter =
+          rng.bernoulli(0.5) ? rng.uniform(0.1, 1.0) : 0.0;
+    }
+    fc.control.partition.sever_drain_fabric = rng.bernoulli(0.5);
+  }
+  // Hedge utilization gate (also drawn last, after the partition block):
+  // some runs self-disable hedging near saturation.
+  if (fc.hedge.enabled && rng.bernoulli(0.3)) {
+    fc.hedge.max_utilization = rng.uniform(0.5, 1.0);
   }
   return fc;
+}
+
+/// Reset every PR 5 gray-failure knob back to its PR 4 default. The forced
+/// smokes pin their own failure mode and must not inherit the randomized
+/// gray draws from chaos_cfg.
+void clear_gray_knobs(FleetConfig& fc) {
+  for (auto& w : fc.control.partition.windows) {
+    w.open_to_minority = false;
+    w.open_to_majority = false;
+    w.flap_period_s = 0.0;
+    w.flap_duty = 0.5;
+  }
+  fc.control.partition.quorum = QuorumPolicy::kServeStale;
+  fc.control.partition.max_client_retries = 1;
+  fc.control.partition.retry_multiplier = 1.0;
+  fc.control.partition.retry_jitter = 0.0;
+  fc.control.partition.sever_drain_fabric = false;
+  fc.hedge.max_utilization = 1.0;
 }
 
 std::vector<FleetRequest> chaos_trace(std::uint64_t seed) {
@@ -252,7 +305,14 @@ void assert_invariants(const FleetConfig& cfg, const FleetReport& r) {
   for (const auto& rec : r.requests) {
     if (rec.double_dispatched) ++dup_records;
   }
-  EXPECT_EQ(dup_records, r.double_dispatches);
+  if (cfg.control.partition.max_client_retries <= 1) {
+    // A single patience attempt admits at most one duplicate per request.
+    EXPECT_EQ(dup_records, r.double_dispatches);
+  } else {
+    // Backoff retries can re-admit after an earlier duplicate died, so
+    // the request-level flag only bounds the dispatch counter.
+    EXPECT_LE(dup_records, r.double_dispatches);
+  }
   EXPECT_GE(r.duplicate_decode_s, 0.0);
   for (double lag : r.partition_heal_lag_s.values()) EXPECT_GE(lag, 0.0);
   if (!partitions) {
@@ -265,6 +325,33 @@ void assert_invariants(const FleetConfig& cfg, const FleetReport& r) {
       EXPECT_FALSE(rec.double_dispatched);
       EXPECT_FALSE(rec.fenced);
     }
+  }
+  // Gray-failure bookkeeping: each meter is gated on its own knob.
+  EXPECT_GE(r.lost_completion_s, 0.0);
+  bool asymmetric = false;
+  for (const auto& w : cfg.control.partition.windows) {
+    asymmetric = asymmetric || w.open_to_minority || w.open_to_majority;
+  }
+  if (!partitions || !asymmetric) {
+    // Orphans (and the resends they trigger) exist only on asymmetric
+    // cuts: a clean cut keeps PR 4's reply semantics.
+    EXPECT_EQ(r.orphaned_completions, 0);
+    EXPECT_DOUBLE_EQ(r.lost_completion_s, 0.0);
+    EXPECT_EQ(r.client_resends, 0);
+    for (const auto& rec : r.requests) EXPECT_FALSE(rec.orphaned);
+  }
+  if (!partitions || cfg.control.partition.quorum == QuorumPolicy::kServeStale) {
+    EXPECT_EQ(r.quorum_fenced, 0);
+    for (const auto& rec : r.requests) EXPECT_FALSE(rec.quorum_rehomed);
+  }
+  if (!partitions) {
+    EXPECT_EQ(r.partition_flaps, 0);
+  }
+  if (!partitions || !cfg.control.partition.sever_drain_fabric) {
+    EXPECT_EQ(r.migration_aborts, 0);
+  }
+  if (cfg.hedge.max_utilization >= 1.0) {
+    EXPECT_EQ(r.hedges_suppressed, 0);
   }
 }
 
@@ -288,6 +375,7 @@ TEST(Chaos, EveryFeatureExercisedSomewhereInTheSweep) {
   long long shed = 0, overlap_tok = 0, stranded = 0, stale = 0;
   long long warmups = 0, bursts = 0, double_dispatched = 0;
   double disagreement = 0.0, duplicate_decode = 0.0;
+  long long flaps = 0, q_fenced = 0;
   for (std::uint64_t seed = 1; seed <= kChaosSeeds; ++seed) {
     const auto r = FleetSimulator(chaos_cfg(seed)).run(chaos_trace(seed));
     opens += r.circuit_opens;
@@ -304,6 +392,8 @@ TEST(Chaos, EveryFeatureExercisedSomewhereInTheSweep) {
     disagreement += r.view_disagreement_s;
     double_dispatched += r.double_dispatches;
     duplicate_decode += r.duplicate_decode_s;
+    flaps += r.partition_flaps;
+    q_fenced += r.quorum_fenced;
   }
   EXPECT_GT(opens, 0);
   EXPECT_GT(hedges, 0);
@@ -323,6 +413,13 @@ TEST(Chaos, EveryFeatureExercisedSomewhereInTheSweep) {
   // PR 4: some seed must actually split the brain.
   EXPECT_GT(double_dispatched, 0);
   EXPECT_GT(duplicate_decode, 0.0);
+  // PR 5: the gray-failure draws must hit their machinery somewhere —
+  // heal edges observed by minority replicas and quorum fencing. Orphaned
+  // completions need a decode to finish inside a cut on the wrong side of
+  // an asymmetric link, which random geometry rarely lines up; the forced
+  // FlappingPartitionSmoke below asserts that path deterministically.
+  EXPECT_GT(flaps, 0);
+  EXPECT_GT(q_fenced, 0);
 }
 
 TEST(Chaos, CorrelatedChaosSmoke) {
@@ -332,6 +429,7 @@ TEST(Chaos, CorrelatedChaosSmoke) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     SCOPED_TRACE("smoke seed " + std::to_string(seed));
     auto cfg = chaos_cfg(seed);
+    clear_gray_knobs(cfg);
     cfg.topology = chaos_topology();
     // The burst assertion needs a clean rack-level down edge: no random
     // per-replica outage may pre-open (or suspend) a rack0 breaker first,
@@ -378,6 +476,7 @@ TEST(Chaos, PartitionSmoke) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     SCOPED_TRACE("partition smoke seed " + std::to_string(seed));
     auto cfg = chaos_cfg(seed);
+    clear_gray_knobs(cfg);
     cfg.control.routers = 2;
     cfg.control.router_faults.clear();
     cfg.control.partition.enabled = true;
@@ -414,6 +513,74 @@ TEST(Chaos, PartitionSmoke) {
   EXPECT_GT(double_dispatched, 0);
   EXPECT_GT(duplicate_decode, 0.0);
   EXPECT_GT(fenced, 0);
+}
+
+TEST(Chaos, FlappingPartitionSmoke) {
+  // CI fast path for the gray-failure machinery: a flapping asymmetric cut
+  // (dispatches cross, replies are lost) with quorum fencing, multi-attempt
+  // jittered client backoff and a severed drain fabric under an active
+  // maintenance window. Must stay cheap — it runs in the fail-first smoke
+  // step alongside PartitionSmoke.
+  long long flaps = 0, orphans = 0, resends = 0, q_fenced = 0, aborts = 0;
+  long long double_dispatched = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("flapping smoke seed " + std::to_string(seed));
+    auto cfg = chaos_cfg(seed);
+    clear_gray_knobs(cfg);
+    cfg.control.routers = 2;
+    cfg.control.router_faults.clear();
+    cfg.control.partition.enabled = true;
+    cfg.control.partition.client_retry_s = 0.01;
+    cfg.control.partition.max_client_retries = 3;
+    cfg.control.partition.retry_multiplier = 1.5;
+    cfg.control.partition.retry_jitter = 0.5;
+    cfg.control.partition.quorum = (seed % 2 == 0)
+                                       ? QuorumPolicy::kFenceAfterGrace
+                                       : QuorumPolicy::kFenceAtCut;
+    cfg.control.partition.quorum_grace_s = 0.02;
+    cfg.control.partition.sever_drain_fabric = true;
+    PartitionWindow w;
+    w.start_s = 0.05;
+    w.end_s = 1.25;
+    w.flap_period_s = 0.2;  // cut episodes [.05,.15) [.25,.35) ... [1.05,1.15)
+    w.flap_duty = 0.5;
+    w.minority_routers = {1};
+    w.minority_replicas = {2};
+    w.open_to_minority = true;  // asymmetric: requests land, replies don't
+    cfg.control.partition.windows = {w};
+    // Keep the flapping cut and the drain it severs the only failure
+    // modes in play: the maintenance window starts inside the first cut
+    // episode so the drain fabric is down when the drain wants to start,
+    // but ends early enough that replica 2 serves (and orphans) decodes
+    // through the later episodes.
+    cfg.faults.clear();
+    cfg.degradations.clear();
+    cfg.domain_faults.clear();
+    cfg.domain_degradations.clear();
+    cfg.maintenance.clear();
+    cfg.maintenance.push_back(MaintenanceWindow{2, 0.1, 0.2});
+    cfg.migration.migrate_kv = true;
+    auto trace = as_fleet_trace(engine::make_uniform_batch(48, 192, 48));
+    workload::ArrivalConfig ac;
+    ac.rate_qps = 120.0;
+    ac.seed = seed ^ 0xA11CEull;
+    stamp_arrivals(ac, trace);
+    FleetReport r;
+    ASSERT_NO_THROW(r = FleetSimulator(cfg).run(trace));
+    assert_invariants(cfg, r);
+    flaps += r.partition_flaps;
+    orphans += r.orphaned_completions;
+    resends += r.client_resends;
+    q_fenced += r.quorum_fenced;
+    aborts += r.migration_aborts;
+    double_dispatched += r.double_dispatches;
+  }
+  EXPECT_GT(flaps, 0);
+  EXPECT_GT(orphans, 0);
+  EXPECT_GT(resends, 0);
+  EXPECT_GT(q_fenced, 0);
+  EXPECT_GT(aborts, 0);
+  EXPECT_GT(double_dispatched, 0);
 }
 
 TEST(Chaos, DeterministicUnderChaos) {
